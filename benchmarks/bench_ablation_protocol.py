@@ -1,0 +1,115 @@
+"""E21 — ablations of this reproduction's documented design decisions.
+
+DESIGN.md §2 resolves ambiguities the paper leaves open; each resolution
+is a knob, and this benchmark measures what each one buys on a fixed
+saturating random workload:
+
+* **D9** ``compact_head_while_extending`` — keeping a travelling header's
+  hop out of compaction (default) vs compacting everything;
+* ``extend_up`` — whether a blocked header may sidestep upward;
+* retry policy — exponential backoff (default) vs constant retry;
+* ``tx_ports``/``rx_ports`` — the Section 2.1 multi-port PE interface.
+
+Reported per point: makespan, mean latency, Nacks, header timeouts.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import render_table
+from repro.core import Message, RMBConfig, RMBRing
+from repro.sim import RandomStream
+from repro.traffic import bounded_load_pairs
+
+NODES = 16
+LANES = 4
+MESSAGES = 64
+FLITS = 24
+
+
+def run_point(label, **overrides):
+    rng = RandomStream(71)  # identical workload at every point
+    config = RMBConfig(nodes=NODES, lanes=LANES, cycle_period=2.0,
+                       **overrides)
+    ring = RMBRing(config, seed=5, trace_kinds=set())
+    for index in range(MESSAGES):
+        source = rng.randint(0, NODES - 1)
+        destination = (source + rng.randint(1, NODES - 1)) % NODES
+        ring.submit(Message(index, source, destination, data_flits=FLITS))
+    makespan = ring.drain(max_ticks=2_000_000)
+    stats = ring.stats()
+    return {
+        "variant": label,
+        "makespan": makespan,
+        "mean latency": round(stats.latency.mean, 1),
+        "nacks": stats.nacks,
+        "timeouts": ring.routing.timed_out,
+        "retries": stats.retries,
+    }
+
+
+def d9_capacity_trials(compact_head: bool, trials: int = 12):
+    """D9's home regime: random load<=k circuit sets; count the trials
+    where every circuit establishes without a single stall-timeout."""
+    rng = RandomStream(72)
+    clean = 0
+    for _ in range(trials):
+        pairs = bounded_load_pairs(NODES, LANES, rng)
+        config = RMBConfig(nodes=NODES, lanes=LANES, cycle_period=2.0,
+                           compact_head_while_extending=compact_head)
+        ring = RMBRing(config, seed=rng.randint(0, 2**30),
+                       trace_kinds=set())
+        ring.submit_all(
+            Message(i, s, d, data_flits=250)
+            for i, (s, d) in enumerate(pairs)
+        )
+        ring.run(NODES * 12)
+        if ring.routing.established == len(pairs) and \
+                ring.routing.timed_out == 0:
+            clean += 1
+        ring.drain(max_ticks=2_000_000)
+    return clean, trials
+
+
+def run_ablations():
+    return [
+        run_point("baseline (all defaults)"),
+        run_point("D9 off: compact travelling headers",
+                  compact_head_while_extending=True),
+        run_point("extend_up off: no upward sidestep", extend_up=False),
+        run_point("constant retry (no backoff)", retry_backoff=1.0),
+        run_point("no retry jitter", retry_jitter=0.0),
+        run_point("2 TX + 2 RX ports per node", tx_ports=2, rx_ports=2),
+    ]
+
+
+def test_e21_protocol_ablations(benchmark):
+    rows = benchmark(run_ablations)
+    text = render_table(
+        rows,
+        title=(f"E21  Design-decision ablations, N={NODES}, k={LANES}, "
+               f"{MESSAGES} random messages"),
+    )
+    d9_on_clean, trials = d9_capacity_trials(compact_head=False)
+    d9_off_clean, _ = d9_capacity_trials(compact_head=True)
+    text += "\n\n" + render_table(
+        [
+            {"D9 (headers stay high)": "on (default)",
+             "load<=k sets with zero stalls": f"{d9_on_clean}/{trials}"},
+            {"D9 (headers stay high)": "off",
+             "load<=k sets with zero stalls": f"{d9_off_clean}/{trials}"},
+        ],
+        title="D9 in its home regime: within-capacity circuit sets",
+    )
+    report("E21_ablation_protocol", text)
+    by_variant = {row["variant"]: row for row in rows}
+    baseline = by_variant["baseline (all defaults)"]
+    # Every variant still delivers the whole workload (liveness).
+    assert all(row["makespan"] > 0 for row in rows)
+    # D9's value shows in the within-capacity regime: keeping travelling
+    # headers out of compaction yields at least as many stall-free trials.
+    assert d9_on_clean >= d9_off_clean
+    # Extra ports strictly reduce receiver refusals.
+    assert by_variant["2 TX + 2 RX ports per node"]["nacks"] <= \
+        baseline["nacks"]

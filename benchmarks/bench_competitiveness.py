@@ -1,0 +1,72 @@
+"""E16 — Section 4 (future work, implemented here): competitiveness of the
+on-line RMB protocol against an optimal off-line schedule.
+
+For random permutations and random batches we report the ratio of the
+simulated on-line makespan to (a) a certified lower bound on any offline
+schedule and (b) a feasible greedy offline schedule.  The true competitive
+ratio lies between the two columns.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.competitive import measure_competitiveness
+from repro.analysis.tables import render_table
+from repro.core import Message, RMBConfig
+from repro.sim import RandomStream
+from repro.traffic import permutation_messages, random_derangement
+
+
+def random_batch(nodes, count, rng, flits):
+    messages = []
+    for index in range(count):
+        source = rng.randint(0, nodes - 1)
+        destination = (source + rng.randint(1, nodes - 1)) % nodes
+        messages.append(Message(index, source, destination,
+                                data_flits=flits))
+    return messages
+
+
+def run_points():
+    rng = RandomStream(23)
+    rows = []
+    for nodes, lanes, flits in [(8, 2, 16), (16, 4, 16), (16, 4, 48),
+                                (24, 4, 16)]:
+        for workload in ("permutation", "random-batch"):
+            if workload == "permutation":
+                messages = permutation_messages(
+                    random_derangement(nodes, rng), flits
+                )
+            else:
+                messages = random_batch(nodes, nodes * 2, rng, flits)
+            config = RMBConfig(nodes=nodes, lanes=lanes, cycle_period=2.0)
+            rep = measure_competitiveness(config, messages,
+                                          seed=rng.randint(0, 2**30),
+                                          max_ticks=2_000_000)
+            rows.append({
+                "N": nodes, "k": lanes, "flits": flits,
+                "workload": workload,
+                "messages": rep.messages,
+                "online": rep.online_makespan,
+                "offline LB": round(rep.offline_lower_bound, 1),
+                "offline greedy": round(rep.offline_greedy_makespan, 1),
+                "ratio vs LB": round(rep.ratio_vs_lower, 2),
+                "ratio vs greedy": round(rep.ratio_vs_greedy, 2),
+            })
+    return rows
+
+
+def test_e16_competitiveness(benchmark):
+    rows = benchmark(run_points)
+    text = render_table(
+        rows,
+        title="E16  On-line RMB vs optimal off-line schedule (bracketed)",
+    )
+    report("E16_competitiveness", text)
+    for row in rows:
+        assert row["ratio vs LB"] >= 1.0, row
+        assert row["ratio vs greedy"] >= 0.99, row
+        # The on-line protocol stays within a small constant factor of the
+        # realisable offline plan on these workloads.
+        assert row["ratio vs greedy"] < 12.0, row

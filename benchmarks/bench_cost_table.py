@@ -1,0 +1,93 @@
+"""E9-E12 — Section 3.2: links, cross points and area for every
+architecture, plus cross-validation against the built simulator
+topologies.
+
+This regenerates the paper's central comparison (its implicit "table"):
+for each (N, k) design point, the hardware cost of supporting a
+k-permutation on the RMB, hypercube family, fat tree and mesh, and the
+area advantage of the RMB the Review paragraph claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import report
+
+from repro.analysis.cost import area_advantage, cost_table
+from repro.analysis.tables import render_table
+from repro.networks import (
+    EnhancedHypercubeNetwork,
+    FatTreeNetwork,
+    HypercubeNetwork,
+    MeshNetwork,
+)
+
+DESIGN_POINTS = [(64, 4), (64, 8), (256, 8), (256, 16), (1024, 16)]
+
+
+def build_rows():
+    rows = []
+    for nodes, k in DESIGN_POINTS:
+        for cost_row in cost_table(nodes, k):
+            rows.append(cost_row.as_dict())
+    return rows
+
+
+def structural_cross_checks():
+    """The cost formulas must agree with the constructed topologies."""
+    checks = []
+    # Hypercube: N log N directed channels == paper's N log N links.
+    net = HypercubeNetwork(64)
+    checks.append(("hypercube links (N=64)", net.link_count(),
+                   64 * int(math.log2(64))))
+    # EHC: doubling one dimension adds N wires.
+    ehc = EnhancedHypercubeNetwork(64)
+    checks.append(("ehc links (N=64)", ehc.link_count(), 64 * 6 + 64))
+    # Fat tree: switch-level links == N log k + N - 2k.
+    tree = FatTreeNetwork(64, k=8)
+    switch_links = sum(count for level, count in
+                       tree.links_per_level().items() if level >= 1)
+    checks.append(("fattree switch links (N=64,k=8)", switch_links,
+                   int(64 * math.log2(8) + 64 - 16)))
+    # Mesh: 2 * side * (side-1) channel pairs -> ~2N channels.
+    mesh = MeshNetwork(64)
+    checks.append(("mesh channels (N=64)", len(mesh.channels),
+                   4 * 8 * 7))
+    return checks
+
+
+def test_e9_to_e12_cost_comparison(benchmark):
+    rows = benchmark(build_rows)
+    text = render_table(
+        rows,
+        columns=["architecture", "N", "k", "links", "cross_points", "area",
+                 "wire_length"],
+        title="E9-E12  Section 3.2: hardware cost to support a k-permutation",
+    )
+    advantage = area_advantage(256, 8)
+    advantage_rows = [
+        {"architecture": name, "area / rmb area": round(value, 2)}
+        for name, value in advantage.items()
+    ]
+    text += "\n\n" + render_table(
+        advantage_rows,
+        title="Review: area relative to the RMB (N=256, k=8)",
+    )
+    checks = structural_cross_checks()
+    check_rows = [
+        {"structural check": name, "built": built, "formula": formula}
+        for name, built, formula in checks
+    ]
+    text += "\n\n" + render_table(
+        check_rows, title="Cross-checks: formulas vs constructed simulators"
+    )
+    report("E9_E12_cost_table", text)
+
+    for name, built, formula in checks:
+        assert built == formula, name
+    # Paper's review: RMB beats hypercube/EHC/fat-tree on area, ties mesh.
+    assert advantage["hypercube"] > 10
+    assert advantage["ehc"] > 10
+    assert advantage["fattree"] > 1
+    assert advantage["mesh"] == 1.0

@@ -1,0 +1,74 @@
+"""E6 — Figures 9/10 + Table 2: the odd/even handshake state machine.
+
+Paper claims: (a) from reset (rule 1) the cycling procedure propagates
+through the entire array; (b) each INC walks the four switching states in
+order; (c) cycle parity alternates strictly.  We drive rings of several
+sizes with a round-robin edge supply and measure cycles completed,
+handshake throughput (edges per completed cycle), and phase coverage.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import render_table
+from repro.core.cycles import CycleController, HandshakePhase, wire_ring
+
+
+def run_ring(count, edges=5000):
+    phases_seen = {index: set() for index in range(count)}
+    work_log = []
+    controllers = [
+        CycleController(index, lambda i, c: work_log.append((i, c)))
+        for index in range(count)
+    ]
+    wire_ring(controllers)
+    for step in range(edges):
+        controller = controllers[step % count]
+        controller.on_edge(step)
+        phases_seen[controller.index].add(controller.phase)
+    cycles = [controller.cycle for controller in controllers]
+    return {
+        "count": count,
+        "min_cycles": min(cycles),
+        "max_cycles": max(cycles),
+        "edges_per_cycle": edges / count / max(1, min(cycles)),
+        "full_phase_coverage": all(
+            phases == set(HandshakePhase) for phases in phases_seen.values()
+        ),
+        "work_in_order": all(
+            [c for (i, c) in work_log if i == index] ==
+            sorted(c for (i, c) in work_log if i == index)
+            for index in range(count)
+        ),
+    }
+
+
+def run_all_sizes():
+    return [run_ring(count) for count in (4, 8, 16, 32)]
+
+
+def test_e6_handshake_fsm(benchmark):
+    results = benchmark(run_all_sizes)
+    rows = [
+        {
+            "ring size": result["count"],
+            "cycles (min)": result["min_cycles"],
+            "cycles (max)": result["max_cycles"],
+            "edges/INC/cycle": round(result["edges_per_cycle"], 2),
+            "all 5 phases visited": result["full_phase_coverage"],
+            "cycles in order": result["work_in_order"],
+        }
+        for result in results
+    ]
+    text = render_table(
+        rows, title="E6  Figures 9/10: handshake progression from reset"
+    )
+    report("E6_cycle_fsm", text)
+    for result in results:
+        assert result["min_cycles"] > 0, "cycling must propagate everywhere"
+        assert result["max_cycles"] - result["min_cycles"] <= 1
+        assert result["full_phase_coverage"]
+        assert result["work_in_order"]
+        # The 5-phase handshake costs ~5 edges per cycle per INC.
+        assert result["edges_per_cycle"] <= 8

@@ -1,0 +1,58 @@
+"""E4 — Figure 5: an entire straight virtual bus drops one lane in
+exactly two odd/even cycles.
+
+Paper claim: the parity schedule moves alternate segments in one cycle
+and the remaining segments in the next, so a straight bus at lane l with
+lane l-1 free sits entirely at lane l-1 after two cycles.  We measure the
+cycles-per-lane rate for bus lengths 2..14 and assert the 2-cycle figure.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import render_table
+from repro.core import RMBConfig
+from repro.core.compaction import CompactionEngine
+from repro.core.flits import Message, MessageRecord
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import BusPhase, VirtualBus
+
+
+def cycles_to_drop_one_lane(length, nodes=16, lanes=3):
+    config = RMBConfig(nodes=nodes, lanes=lanes)
+    grid = SegmentGrid(nodes, lanes)
+    message = Message(0, 0, length % nodes, data_flits=1)
+    bus = VirtualBus(0, message, MessageRecord(message), nodes)
+    bus.phase = BusPhase.STREAMING
+    for segment in range(length):
+        grid.claim(segment, lanes - 1, 0)
+        bus.hops.append(lanes - 1)
+    engine = CompactionEngine(config, grid, {0: bus})
+    cycle = 0
+    while any(lane != lanes - 2 for lane in bus.hops):
+        engine.global_pass(cycle)
+        cycle += 1
+        assert cycle < 20, "bus failed to drop a lane"
+    return cycle
+
+
+def run_sweep():
+    return {length: cycles_to_drop_one_lane(length)
+            for length in range(2, 15)}
+
+
+def test_e4_whole_bus_moves_in_two_cycles(benchmark):
+    results = benchmark(run_sweep)
+    rows = [
+        {"bus length (segments)": length, "cycles to drop one lane": cycles}
+        for length, cycles in sorted(results.items())
+    ]
+    text = render_table(
+        rows, title="E4  Figure 5: lane-drop time vs virtual-bus length"
+    )
+    report("E4_two_cycle_move", text)
+    assert all(cycles == 2 for cycles in results.values()), (
+        "every straight bus must drop exactly one lane per two cycles, "
+        f"got {results}"
+    )

@@ -1,0 +1,79 @@
+"""E24 — the Review paragraph's clock-rate argument, quantified.
+
+"The RMB uses constant length wires and that offers a major advantage in
+operating a network at high clock rates."
+
+A network's cycle time is bounded by its longest wire; re-expressing the
+E14 race in *wire-delay units* (tick count x longest-wire factor of a
+standard 2-D layout, linear delay model) shows how much of the hypercube
+family's raw-tick victory survives physical scaling.  The factor grows
+like sqrt(N) for the cube family and the fat tree, stays 1 for the RMB
+and the mesh — so the crossover moves towards the RMB as N grows.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.cost import wire_delay_factor
+from repro.analysis.tables import render_table
+from repro.networks import build_network, make_batch, permutation_pairs
+from repro.sim import RandomStream
+from repro.traffic import random_permutation
+
+K = 4
+FLITS = 16
+NETWORKS = ("rmb", "hypercube", "ehc", "fattree", "mesh", "multibus")
+
+
+def race_at(nodes, rng):
+    perm = random_permutation(nodes, rng)
+    batch_pairs = permutation_pairs(perm)
+    rows = []
+    for name in NETWORKS:
+        network = build_network(name, nodes, K, seed=2)
+        result = network.route_batch(
+            make_batch(batch_pairs, data_flits=FLITS), max_ticks=2_000_000
+        )
+        factor = wire_delay_factor(name, nodes, K)
+        rows.append({
+            "N": nodes,
+            "network": name,
+            "ticks": result.makespan,
+            "wire factor": round(factor, 2),
+            "wire-delay time": round(result.makespan * factor, 0),
+        })
+    return rows
+
+
+def run_scaling():
+    rng = RandomStream(81)
+    rows = []
+    for nodes in (16, 64):
+        rows.extend(race_at(nodes, rng))
+    return rows
+
+
+def test_e24_wire_length_scaling(benchmark):
+    rows = benchmark(run_scaling)
+    text = render_table(
+        rows,
+        title=(f"E24  Random permutation race in wire-delay units, k={K} "
+               "(cycle time bounded by the longest wire, linear model)"),
+    )
+    report("E24_wire_length", text)
+    by_key = {(row["N"], row["network"]): row for row in rows}
+    for nodes in (16, 64):
+        # Raw ticks: the hypercube wins, as E14 showed.
+        assert by_key[(nodes, "hypercube")]["ticks"] < \
+            by_key[(nodes, "rmb")]["ticks"]
+    # Wire-scaled at N=64: the global multibus is no longer competitive,
+    # and the hypercube's advantage shrinks by the sqrt(N)/2 factor.
+    n = 64
+    rmb_scaled = by_key[(n, "rmb")]["wire-delay time"]
+    assert by_key[(n, "multibus")]["wire-delay time"] > rmb_scaled
+    hypercube_raw_advantage = (by_key[(n, "rmb")]["ticks"] /
+                               by_key[(n, "hypercube")]["ticks"])
+    hypercube_scaled_advantage = (rmb_scaled /
+                                  by_key[(n, "hypercube")]["wire-delay time"])
+    assert hypercube_scaled_advantage < hypercube_raw_advantage / 2

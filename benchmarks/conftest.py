@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (see DESIGN.md section 5),
+prints the reproduced table/series, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote the exact output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Print a reproduced artefact and archive it for EXPERIMENTS.md."""
+    banner = f"=== {experiment_id} ==="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")

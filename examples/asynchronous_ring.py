@@ -1,0 +1,56 @@
+"""Run the RMB with fully asynchronous INC clocks — Section 2.5 live.
+
+Every INC gets an independent clock (random phase, frequency error and
+edge jitter).  The odd/even handshake (rules 1-5) keeps neighbouring
+cycle counts within one of each other (Lemma 1) while traffic flows and
+compaction keeps packing buses.
+
+Usage:
+    python examples/asynchronous_ring.py [nodes] [drift%]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Message, RMBConfig, RMBRing
+from repro.analysis import render_table
+from repro.core import max_neighbour_skew
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    drift = (float(sys.argv[2]) / 100) if len(sys.argv) > 2 else 0.05
+
+    config = RMBConfig(nodes=nodes, lanes=4, synchronous=False,
+                       clock_drift=drift, clock_jitter_fraction=0.1)
+    ring = RMBRing(config, seed=11)
+    for index in range(nodes):
+        ring.submit(Message(index, index, (index + nodes // 3) % nodes,
+                            data_flits=24))
+
+    worst_skew = 0
+    samples = []
+    while ring.routing.pending() > 0:
+        ring.run(16)
+        skew = max_neighbour_skew(ring.controllers)
+        worst_skew = max(worst_skew, skew)
+        samples.append({
+            "t": ring.sim.now,
+            "min cycle": min(c.cycle for c in ring.controllers),
+            "max cycle": max(c.cycle for c in ring.controllers),
+            "neighbour skew": skew,
+            "live buses": ring.routing.live_bus_count(),
+        })
+
+    print(render_table(samples[:20],
+                       title=f"Asynchronous RMB, N={nodes}, "
+                             f"drift ±{drift:.0%}, jitter ±10%"))
+    stats = ring.stats()
+    print(f"\ncompleted {stats.completed}/{stats.offered} messages; "
+          f"worst neighbour cycle skew ever observed: {worst_skew} "
+          "(Lemma 1 bound: 1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Watch the compaction protocol work — the animated version of the
+paper's Figures 2/3/5.
+
+Three long transfers enter the ring on the top lane a few ticks apart;
+the printed frames show each virtual bus drawn at lane 3 and then sinking
+to the lowest free lanes while its data is still streaming, leaving the
+top lane clear for the next request.
+
+Run:
+    python examples/compaction_trace.py
+"""
+
+from __future__ import annotations
+
+from repro import Message, RMBConfig, RMBRing
+from repro.core import render_grid
+
+
+def main() -> None:
+    config = RMBConfig(nodes=12, lanes=4, cycle_period=2.0)
+    ring = RMBRing(config, seed=0)
+
+    # Three overlapping long transfers, staggered so each one's header
+    # finds the top lane already released by compaction.
+    ring.sim.schedule_at(0, lambda: ring.submit(
+        Message(0, 0, 8, data_flits=120)))
+    ring.sim.schedule_at(14, lambda: ring.submit(
+        Message(1, 2, 10, data_flits=120)))
+    ring.sim.schedule_at(28, lambda: ring.submit(
+        Message(2, 4, 0, data_flits=120)))
+
+    for frame in range(10):
+        print(f"--- t = {ring.sim.now:5.1f}   "
+              f"cycle = {ring.cycle_count():3d}   "
+              f"live buses = {ring.routing.live_bus_count()}")
+        print(render_grid(ring.grid))
+        print()
+        ring.run(8)
+
+    ring.drain()
+    stats = ring.stats()
+    print(f"all {stats.completed} transfers completed; "
+          f"{ring.compaction.stats.moves} compaction moves were made")
+    print("conditions exercised (paper Figure 7):")
+    for condition, count in sorted(
+            ring.compaction.stats.condition_counts.items()):
+        print(f"  {condition:45s} {count}")
+
+
+if __name__ == "__main__":
+    main()

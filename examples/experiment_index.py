@@ -1,0 +1,39 @@
+"""Print the reproduction status of every paper artefact.
+
+Usage:
+    python examples/experiment_index.py
+
+Reads the machine-readable experiment registry and reports, for each of
+E1-E25, whether its benchmark exists and whether an archived result from
+the last `pytest benchmarks/` run is present under `benchmarks/results/`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import EXPERIMENTS, benchmarks_dir, registry_status
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    bench_dir = benchmarks_dir()
+    rows = registry_status(bench_dir)
+    print(render_table(
+        rows,
+        columns=["id", "title", "paper artefact", "kind",
+                 "bench exists", "result archived"],
+        title=f"Reproduction index ({len(EXPERIMENTS)} experiments) — "
+              f"benchmarks at {bench_dir}",
+    ))
+    kinds = {}
+    for experiment in EXPERIMENTS:
+        kinds[experiment.kind] = kinds.get(experiment.kind, 0) + 1
+    print(
+        f"\n{kinds.get('exact', 0)} exact reproductions, "
+        f"{kinds.get('behavioural', 0)} behavioural property checks, "
+        f"{kinds.get('new', 0)} analyses the paper proposed or omitted.\n"
+        "Regenerate all archived results with:  pytest benchmarks/"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""A 2-D grid of RMB rings — the paper's closing future-work direction,
+running.
+
+Every row and column of a processor grid is its own RMB ring; messages
+ride their row ring to the destination column, turn (store-and-forward
+through the turning node's PE), and ride the column ring to the
+destination row.
+
+Usage:
+    python examples/grid_fabric.py [rows] [cols] [lanes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_table
+from repro.grid import RMBGrid
+from repro.sim import RandomStream
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    lanes = int(sys.argv[3]) if len(sys.argv) > 3 else 2
+
+    grid = RMBGrid(rows, cols, lanes=lanes)
+    rng = RandomStream(5)
+    nodes = grid.nodes
+    count = nodes * 2
+    for index in range(count):
+        source = rng.randint(0, nodes - 1)
+        destination = (source + rng.randint(1, nodes - 1)) % nodes
+        grid.submit(index, source, destination, data_flits=16)
+
+    makespan = grid.drain()
+    tally = grid.latency_tally()
+    single = [record for record in grid.records.values()
+              if record.legs_total == 1]
+    double = [record for record in grid.records.values()
+              if record.legs_total == 2]
+
+    print(f"{grid.describe()}: {grid.completed()}/{count} journeys "
+          f"completed in {makespan:.0f} ticks\n")
+    rows_out = [
+        {"metric": "mean journey latency", "value": round(tally.mean, 1)},
+        {"metric": "max journey latency", "value": tally.maximum},
+        {"metric": "single-leg journeys (same row/column)",
+         "value": len(single)},
+        {"metric": "two-leg journeys (row then column)",
+         "value": len(double)},
+        {"metric": "mean wait before the turn",
+         "value": round(grid.turn_latency.mean, 1)},
+    ]
+    print(render_table(rows_out, title="Grid fabric summary"))
+
+    busiest = max(grid.row_rings + grid.col_rings,
+                  key=lambda ring: ring.routing.completed)
+    print(f"\nbusiest ring: {busiest.name} carried "
+          f"{busiest.routing.completed} legs, "
+          f"{busiest.compaction.stats.moves} compaction moves")
+
+
+if __name__ == "__main__":
+    main()

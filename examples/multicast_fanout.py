@@ -1,0 +1,68 @@
+"""Multicast on virtual buses — the extension the paper defers.
+
+One header flit draws a single virtual bus through every receiver; each
+tap reads the shared flit stream as it passes.  The script compares the
+fan-out cost against serial unicasts from the same sender.
+
+Usage:
+    python examples/multicast_fanout.py [nodes] [lanes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Message, RMBConfig, RMBRing
+from repro.analysis import render_table
+
+
+def run_multicast(nodes, lanes, receivers, flits):
+    ring = RMBRing(RMBConfig(nodes=nodes, lanes=lanes, cycle_period=2.0),
+                   seed=0)
+    record = ring.submit(Message(
+        0, 0, receivers[-1], data_flits=flits,
+        extra_destinations=tuple(receivers[:-1]),
+    ))
+    makespan = ring.drain()
+    return makespan, record
+
+
+def run_serial(nodes, lanes, receivers, flits):
+    ring = RMBRing(RMBConfig(nodes=nodes, lanes=lanes, cycle_period=2.0),
+                   seed=0)
+    for index, destination in enumerate(receivers):
+        ring.submit(Message(index, 0, destination, data_flits=flits))
+    return ring.drain()
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    lanes = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    flits = 48
+
+    rows = []
+    for fan_out in (1, 2, 3, 5, 7):
+        stride = max(1, (nodes // 2) // fan_out)
+        receivers = [1 + stride * index for index in range(fan_out)]
+        multicast_time, record = run_multicast(nodes, lanes, receivers,
+                                               flits)
+        serial_time = run_serial(nodes, lanes, receivers, flits)
+        rows.append({
+            "receivers": fan_out,
+            "multicast ticks": multicast_time,
+            "serial unicast ticks": serial_time,
+            "speedup": round(serial_time / multicast_time, 2),
+            "tap deliveries": len(record.tap_delivered_at),
+        })
+    print(render_table(
+        rows,
+        title=f"Multicast vs serial unicast, N={nodes}, k={lanes}, "
+              f"{flits}-flit payload",
+    ))
+    print("\nOne circuit, one payload transmission, every tap reads the "
+          "stream in place:\nfan-out is almost free on the wire — the "
+          "extension the paper predicted would work.")
+
+
+if __name__ == "__main__":
+    main()

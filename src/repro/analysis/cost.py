@@ -1,0 +1,277 @@
+"""Hardware cost models — paper Section 3.2, reproduced formula by formula.
+
+The paper compares architectures on the hardware needed to support a
+*k-permutation* among *N* processors: number of links, number of cross
+points (wire intersections), and VLSI layout area.  It assumes unit link
+and cross-point costs, with wire length noted qualitatively.  This module
+encodes each published formula; the benchmarks print them side by side
+(experiments E9-E12) and the structural tests cross-check them against
+the actually-constructed simulator topologies.
+
+Where the paper gives only an order (``O(Nk)`` with a stated constant),
+``area`` carries that constant and ``area_exact`` is ``False``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """Costs of one architecture at one (N, k) design point.
+
+    Attributes:
+        architecture: short name.
+        nodes / k: the design point.
+        links: wire-bundle count (paper's link metric).
+        cross_points: wire-intersection count.
+        area: VLSI layout area in unit squares (order expression evaluated
+            with the paper's stated constant).
+        area_exact: True when the paper gives an exact expression.
+        wire_length: qualitative wire-length note, quoted from Section 3.2.
+    """
+
+    architecture: str
+    nodes: int
+    k: int
+    links: float
+    cross_points: float
+    area: float
+    area_exact: bool
+    wire_length: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "architecture": self.architecture,
+            "N": self.nodes,
+            "k": self.k,
+            "links": round(self.links, 1),
+            "cross_points": round(self.cross_points, 1),
+            "area": round(self.area, 1),
+            "wire_length": self.wire_length,
+        }
+
+
+def _check(nodes: int, k: int) -> None:
+    if nodes < 2:
+        raise ConfigurationError(f"need N >= 2, got {nodes}")
+    if not 1 <= k <= nodes:
+        raise ConfigurationError(f"need 1 <= k <= N, got k={k}, N={nodes}")
+
+
+def _log2(value: float) -> float:
+    return math.log2(value) if value > 1 else 0.0
+
+
+def rmb_cost(nodes: int, k: int) -> CostRow:
+    """RMB: links = N k (unit length), cross points = 3 N k, area Θ(N k).
+
+    "each output can receive data from 3 inputs in each INC ... there are
+    exactly N k output ports in all INCs together.  Hence the total number
+    of cross points is 3 N k."
+    """
+    _check(nodes, k)
+    return CostRow(
+        architecture="rmb",
+        nodes=nodes,
+        k=k,
+        links=nodes * k,
+        cross_points=3 * nodes * k,
+        area=nodes * k,
+        area_exact=False,
+        wire_length="constant (unit) length",
+    )
+
+
+def hypercube_cost(nodes: int, k: int) -> CostRow:
+    """Plain binary hypercube: N log N links, area Θ(N²) in 2-D layout."""
+    _check(nodes, k)
+    log_n = _log2(nodes)
+    return CostRow(
+        architecture="hypercube",
+        nodes=nodes,
+        k=k,
+        links=nodes * log_n,
+        cross_points=nodes * log_n * log_n,
+        area=float(nodes) ** 2,
+        area_exact=False,
+        wire_length="varies per dimension",
+    )
+
+
+def ehc_cost(nodes: int, k: int) -> CostRow:
+    """Enhanced hypercube: degree n + 1 per node.
+
+    "the EHC ... has N (log N + 1) links ... the number of cross points in
+    the EHC structure is N (log N + 1)^2 and the area to lay it out is
+    Θ(N²)."
+    """
+    _check(nodes, k)
+    degree = _log2(nodes) + 1
+    return CostRow(
+        architecture="ehc",
+        nodes=nodes,
+        k=k,
+        links=nodes * degree,
+        cross_points=nodes * degree * degree,
+        area=float(nodes) ** 2,
+        area_exact=False,
+        wire_length="varies per dimension",
+    )
+
+
+def gfc_cost(nodes: int, k: int) -> CostRow:
+    """Scaled GFC for k-permutation support.
+
+    "we can use a scaled GFC structure with degree d ... This will have a
+    total of 2^d · d links and N / 2^d should be greater than k.  This
+    yields that the total number of links is less than (N/k) log(N/k)."
+    Cross points and area follow the EHC pattern on the 2^d super-nodes
+    ("Similar is the case for the GFC") — quadratic in super-node count.
+    """
+    _check(nodes, k)
+    super_nodes = max(2, nodes // k)
+    degree = _log2(super_nodes)
+    return CostRow(
+        architecture="gfc",
+        nodes=nodes,
+        k=k,
+        links=super_nodes * degree,
+        cross_points=super_nodes * (degree + 1) ** 2 * k * k,
+        area=float(super_nodes) ** 2 * k * k,
+        area_exact=False,
+        wire_length="varies per dimension",
+    )
+
+
+def fattree_cost(nodes: int, k: int) -> CostRow:
+    """k-permutation fat tree (paper Figure 11).
+
+    "the total number of links in this structure is N log k + N − 2k" ...
+    "total number of cross points are (N/k − 1)·6·k² + (N/k)·O(k²) = O(Nk)
+    ... where the constant is more than 6" ... "the total area of the
+    k-permutation supporting fat-tree is 2N/k · O(k²) = O(Nk) with a
+    constant of at least twelve."
+    """
+    _check(nodes, k)
+    links = nodes * _log2(k) + nodes - 2 * k
+    internal_nodes = max(1, nodes // k - 1)
+    leaf_nodes = max(1, nodes // k)
+    cross_points = internal_nodes * 6 * k * k + leaf_nodes * 6 * k * k
+    return CostRow(
+        architecture="fattree",
+        nodes=nodes,
+        k=k,
+        links=links,
+        cross_points=cross_points,
+        area=12.0 * nodes * k,
+        area_exact=False,
+        wire_length="grows with tree level (H-tree layout)",
+    )
+
+
+def mesh_cost(nodes: int, k: int) -> CostRow:
+    """2-D mesh scaled for k-permutations.
+
+    "The mesh architecture has 2N links.  Each node has a 4x4 crossbar.
+    Therefore the total number of cross points is 4·4·N ... to embed a
+    k-permutation ... each dimension of the mesh has to be expanded by a
+    factor of sqrt(k).  Thus the total area of the mesh becomes O(Nk)."
+    Links and cross points scale with the widened channels (each of the 2N
+    channels becomes sqrt(k)... sqrt(k) wires wide in each dimension,
+    i.e. k-fold crossbars per node).
+    """
+    _check(nodes, k)
+    return CostRow(
+        architecture="mesh",
+        nodes=nodes,
+        k=k,
+        links=2 * nodes * math.sqrt(k),
+        cross_points=16 * nodes * k,
+        area=float(nodes) * k,
+        area_exact=False,
+        wire_length="constant between neighbours",
+    )
+
+
+#: All architectures of the Section 3.2 comparison, paper order.
+COST_MODELS = {
+    "rmb": rmb_cost,
+    "hypercube": hypercube_cost,
+    "ehc": ehc_cost,
+    "gfc": gfc_cost,
+    "fattree": fattree_cost,
+    "mesh": mesh_cost,
+}
+
+
+def cost_table(nodes: int, k: int,
+               architectures: tuple[str, ...] = tuple(COST_MODELS)) -> list[CostRow]:
+    """Cost rows for every requested architecture at one design point."""
+    rows = []
+    for name in architectures:
+        if name not in COST_MODELS:
+            raise ConfigurationError(
+                f"unknown architecture {name!r}; "
+                f"choose from {sorted(COST_MODELS)}"
+            )
+        rows.append(COST_MODELS[name](nodes, k))
+    return rows
+
+
+def area_advantage(nodes: int, k: int) -> dict[str, float]:
+    """Area of each architecture relative to the RMB (>= 1 means the RMB
+    is cheaper) — the headline of the paper's Section 3.2 review."""
+    rmb = rmb_cost(nodes, k).area
+    return {
+        name: model(nodes, k).area / rmb
+        for name, model in COST_MODELS.items()
+    }
+
+
+def wire_delay_factor(architecture: str, nodes: int, k: int = 1) -> float:
+    """Relative cycle-time factor from each architecture's longest wire.
+
+    The Review paragraph of Section 3.2 argues: "The RMB uses constant
+    length wires and that offers a major advantage in operating a network
+    at high clock rates."  A synchronous (or pipelined asynchronous)
+    network's cycle time is bounded by its longest wire; this returns the
+    longest-wire length of a standard 2-D layout, normalised to the RMB's
+    unit-length neighbour segment, under a *linear* wire-delay model (the
+    conservative choice — RC delay would be quadratic and favour short
+    wires even more).
+
+    Layout assumptions (classical results):
+
+    * rmb / mesh — neighbour wires only: factor 1;
+    * karyncube — folded torus: neighbour wires of length 2;
+    * hypercube / ehc / gfc — embedding an n-cube in the plane needs
+      highest-dimension wires of length ~sqrt(N)/2;
+    * fattree — H-tree: root channels run ~sqrt(N)/2;
+    * multibus — a global bus spans the whole machine: ~N;
+    * crossbar — input/output lines cross the array: ~sqrt(N).
+    """
+    if nodes < 2:
+        raise ConfigurationError(f"need N >= 2, got {nodes}")
+    factors = {
+        "rmb": 1.0,
+        "rmb-2ring": 1.0,
+        "mesh": 1.0,
+        "karyncube": 2.0,
+        "hypercube": math.sqrt(nodes) / 2,
+        "ehc": math.sqrt(nodes) / 2,
+        "gfc": math.sqrt(max(2, nodes // max(1, k))) / 2,
+        "fattree": math.sqrt(nodes) / 2,
+        "multibus": float(nodes),
+        "crossbar": math.sqrt(nodes),
+    }
+    if architecture not in factors:
+        raise ConfigurationError(
+            f"unknown architecture {architecture!r}; "
+            f"choose from {sorted(factors)}"
+        )
+    return max(1.0, factors[architecture])

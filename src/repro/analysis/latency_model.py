@@ -1,0 +1,118 @@
+"""Closed-form latency model for an unloaded RMB ring.
+
+The protocol's timing decomposes exactly on an idle network (no
+contention, no retries); the model below is validated tick-for-tick
+against the simulator in ``tests/analysis/test_latency_model.py``, which
+pins down the engine's timing semantics and guards against accidental
+off-by-one regressions in the hot path.
+
+With flit period ``T`` and clockwise span ``s`` (segments crossed):
+
+* **injection** — 1 flit tick (the HF enters the top lane);
+* **header transit** — ``s - 1`` further ticks to reach the destination;
+* **Hack return** — ``s`` ticks back along the virtual bus;
+* **data streaming** — ``L`` ticks: the first data flit is emitted in
+  the same tick the Hack lands, and the FF's emission tick is absorbed
+  into the drain phase;
+* **FF drain** — ``s`` ticks to the destination: *delivery*;
+* **teardown** — ``s`` more ticks of Fack walk until the source's ports
+  free: *completion*.
+
+All phase boundaries in the engine land on flit-tick edges, so each
+phase contributes an integral number of ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RMBConfig
+from repro.core.flits import Message
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-phase tick counts for one unloaded transfer."""
+
+    injection: float
+    header_transit: float
+    ack_return: float
+    streaming: float
+    drain: float
+    teardown: float
+
+    @property
+    def setup(self) -> float:
+        """Request to circuit-established (Hack at the source)."""
+        return self.injection + self.header_transit + self.ack_return
+
+    @property
+    def delivery(self) -> float:
+        """Request to last flit at the destination."""
+        return self.setup + self.streaming + self.drain
+
+    @property
+    def completion(self) -> float:
+        """Request to all ports freed at the source."""
+        return self.delivery + self.teardown
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "injection": self.injection,
+            "header_transit": self.header_transit,
+            "ack_return": self.ack_return,
+            "streaming": self.streaming,
+            "drain": self.drain,
+            "teardown": self.teardown,
+            "setup": self.setup,
+            "delivery": self.delivery,
+            "completion": self.completion,
+        }
+
+
+def unloaded_latency(span: int, data_flits: int,
+                     flit_period: float = 1.0) -> LatencyBreakdown:
+    """Phase breakdown for a lone message crossing ``span`` segments.
+
+    Raises:
+        ConfigurationError: for a non-positive span or negative payload.
+    """
+    if span < 1:
+        raise ConfigurationError(f"span must be >= 1, got {span}")
+    if data_flits < 0:
+        raise ConfigurationError("data_flits must be >= 0")
+    period = flit_period
+    return LatencyBreakdown(
+        injection=1 * period,
+        header_transit=(span - 1) * period,
+        ack_return=span * period,
+        streaming=data_flits * period,
+        drain=span * period,
+        teardown=span * period,
+    )
+
+
+def predict_message(config: RMBConfig, message: Message) -> LatencyBreakdown:
+    """Unloaded breakdown for a concrete message on a concrete ring."""
+    span = message.span(config.nodes)
+    return unloaded_latency(span, message.data_flits, config.flit_period)
+
+
+def bandwidth_per_circuit(data_flits: int, span: int,
+                          flit_period: float = 1.0) -> float:
+    """Sustained payload flits per tick of one repeating transfer.
+
+    The circuit-switched overhead (setup + teardown round trips) is
+    amortised over the payload; long messages approach ``1 / T``, the
+    wire rate — quantifying the paper's advice that the RMB favours
+    streaming transfers.
+    """
+    breakdown = unloaded_latency(span, data_flits, flit_period)
+    return data_flits / breakdown.completion
+
+
+def efficiency(data_flits: int, span: int) -> float:
+    """Fraction of a transfer's lifetime spent moving payload."""
+    breakdown = unloaded_latency(span, data_flits)
+    return breakdown.streaming / breakdown.completion

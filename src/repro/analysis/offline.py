@@ -1,0 +1,184 @@
+"""Offline-optimal scheduling of ring traffic.
+
+The paper's concluding remarks define the *competitiveness* of the on-line
+RMB protocol as "the ratio of its required time for communicating all
+messages to the time required by an optimal off-line schedule" and leave
+its evaluation to future work; experiment E16 carries that evaluation out.
+
+The offline problem: messages are clockwise arcs with a service duration
+(their flit count); the ring has ``k`` lanes; a feasible schedule assigns
+each message a start time such that at every instant no segment is crossed
+by more than ``k`` active messages and no node transmits or receives two
+messages at once.  This module provides
+
+* :func:`lower_bound` — a certified lower bound on any schedule's
+  makespan (max of segment-load, node-load, and single-message bounds);
+* :func:`greedy_schedule` — an earliest-start list schedule, a feasible
+  (hence upper-bound) offline solution.
+
+The true optimum lies between the two; competitiveness is reported against
+both, bracketing the paper's ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.flits import Message
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ScheduledMessage:
+    """One message with its offline start time."""
+
+    message: Message
+    start: float
+    nodes: int
+
+    @property
+    def finish(self) -> float:
+        return self.start + service_time(self.message, self.nodes)
+
+
+@dataclass
+class OfflineSchedule:
+    """A feasible offline schedule with its makespan."""
+
+    entries: list[ScheduledMessage]
+    nodes: int
+    lanes: int
+
+    @property
+    def makespan(self) -> float:
+        return max((entry.finish for entry in self.entries), default=0.0)
+
+
+def _segments_crossed(message: Message, nodes: int) -> range:
+    """Clockwise segment offsets ``source + j`` the message occupies."""
+    return range(message.span(nodes))
+
+
+def service_time(message: Message, nodes: int) -> float:
+    """Ticks a message occupies its segments in the offline model.
+
+    An offline scheduler on the *same hardware* still pays the flit train
+    plus the pipeline drain across the message's span; it saves only the
+    acknowledgement round-trip and all arbitration (it knows the plan in
+    advance).  This keeps the baseline strong but physically realisable.
+    """
+    return message.total_flits + message.span(nodes) + 1
+
+
+def lower_bound(messages: Sequence[Message], nodes: int, lanes: int) -> float:
+    """A certified lower bound on any offline schedule's makespan."""
+    if lanes < 1:
+        raise WorkloadError("need at least one lane")
+    segment_demand = [0.0] * nodes
+    tx_demand: dict[int, float] = {}
+    rx_demand: dict[int, float] = {}
+    longest = 0.0
+    for message in messages:
+        duration = service_time(message, nodes)
+        longest = max(longest, duration)
+        for offset in _segments_crossed(message, nodes):
+            segment_demand[(message.source + offset) % nodes] += duration
+        tx_demand[message.source] = tx_demand.get(message.source, 0.0) + duration
+        rx_demand[message.destination] = (
+            rx_demand.get(message.destination, 0.0) + duration
+        )
+    segment_bound = max(segment_demand) / lanes if messages else 0.0
+    node_bound = max(
+        max(tx_demand.values(), default=0.0),
+        max(rx_demand.values(), default=0.0),
+    )
+    return max(segment_bound, node_bound, longest)
+
+
+def greedy_schedule(messages: Sequence[Message], nodes: int,
+                    lanes: int) -> OfflineSchedule:
+    """Earliest-feasible-start list scheduling (longest span first).
+
+    Feasibility is tracked per segment as a multiset of busy intervals;
+    a candidate start is accepted when every crossed segment has fewer
+    than ``lanes`` overlapping transmissions and the endpoints are free.
+    Longest-span-first ordering is the classic heuristic for interval
+    packing on rings; tests verify feasibility, not optimality.
+    """
+    if lanes < 1:
+        raise WorkloadError("need at least one lane")
+    # Busy intervals per segment and per endpoint, kept sorted by start.
+    segment_busy: list[list[tuple[float, float]]] = [[] for _ in range(nodes)]
+    tx_busy: dict[int, list[tuple[float, float]]] = {}
+    rx_busy: dict[int, list[tuple[float, float]]] = {}
+    entries: list[ScheduledMessage] = []
+
+    def overlaps(intervals: list[tuple[float, float]], start: float,
+                 finish: float) -> int:
+        return sum(1 for s, f in intervals if s < finish and start < f)
+
+    def candidate_times(message: Message) -> list[float]:
+        times = {0.0}
+        for offset in _segments_crossed(message, nodes):
+            for _, finish in segment_busy[(message.source + offset) % nodes]:
+                times.add(finish)
+        for _, finish in tx_busy.get(message.source, []):
+            times.add(finish)
+        for _, finish in rx_busy.get(message.destination, []):
+            times.add(finish)
+        return sorted(times)
+
+    ordered = sorted(
+        messages,
+        key=lambda m: (-m.span(nodes), -service_time(m, nodes), m.message_id),
+    )
+    for message in ordered:
+        duration = service_time(message, nodes)
+        chosen = None
+        for start in candidate_times(message):
+            finish = start + duration
+            if overlaps(tx_busy.get(message.source, []), start, finish):
+                continue
+            if overlaps(rx_busy.get(message.destination, []), start, finish):
+                continue
+            feasible = True
+            for offset in _segments_crossed(message, nodes):
+                segment = (message.source + offset) % nodes
+                if overlaps(segment_busy[segment], start, finish) >= lanes:
+                    feasible = False
+                    break
+            if feasible:
+                chosen = start
+                break
+        if chosen is None:  # pragma: no cover - candidate set always works
+            raise WorkloadError(
+                f"no feasible start found for message {message.message_id}"
+            )
+        finish = chosen + duration
+        for offset in _segments_crossed(message, nodes):
+            segment_busy[(message.source + offset) % nodes].append(
+                (chosen, finish)
+            )
+        tx_busy.setdefault(message.source, []).append((chosen, finish))
+        rx_busy.setdefault(message.destination, []).append((chosen, finish))
+        entries.append(ScheduledMessage(message, chosen, nodes))
+    return OfflineSchedule(entries, nodes, lanes)
+
+
+def verify_schedule(schedule: OfflineSchedule) -> None:
+    """Raise :class:`WorkloadError` unless the schedule is feasible."""
+    events: dict[int, list[tuple[float, int]]] = {}
+    for entry in schedule.entries:
+        for offset in _segments_crossed(entry.message, schedule.nodes):
+            segment = (entry.message.source + offset) % schedule.nodes
+            events.setdefault(segment, []).append((entry.start, +1))
+            events.setdefault(segment, []).append((entry.finish, -1))
+    for segment, changes in events.items():
+        load = 0
+        for _, delta in sorted(changes, key=lambda c: (c[0], c[1])):
+            load += delta
+            if load > schedule.lanes:
+                raise WorkloadError(
+                    f"offline schedule overloads segment {segment}"
+                )

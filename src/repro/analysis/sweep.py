@@ -1,0 +1,80 @@
+"""Parameter-sweep helpers shared by benchmarks and examples.
+
+A sweep maps a cartesian grid of parameters through a measurement function
+into result rows, with deterministic per-point seeds so any single point
+can be re-run in isolation and reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.sim.rng import SeedSequence
+
+
+def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes as a list of parameter dicts.
+
+    Example:
+        >>> grid(n=[8, 16], k=[2, 4])[0]
+        {'n': 8, 'k': 2}
+    """
+    names = list(axes)
+    points = []
+    for values in itertools.product(*(list(axes[name]) for name in names)):
+        points.append(dict(zip(names, values)))
+    return points
+
+
+def run_sweep(
+    points: Sequence[Mapping[str, Any]],
+    measure: Callable[..., Mapping[str, Any]],
+    root_seed: int = 0,
+    repeats: int = 1,
+) -> list[dict[str, Any]]:
+    """Evaluate ``measure(**point, seed=...)`` over every point.
+
+    Args:
+        points: parameter dictionaries (from :func:`grid` or hand-built).
+        measure: measurement callable; must accept a ``seed`` keyword and
+            return a mapping of result fields.
+        root_seed: root of the per-point seed derivation.
+        repeats: measurements per point (seeded independently); each
+            repeat produces its own row with a ``repeat`` field.
+
+    Returns:
+        One merged dict per (point, repeat): parameters, then results.
+    """
+    seeds = SeedSequence(root_seed)
+    rows = []
+    for index, point in enumerate(points):
+        for repeat in range(repeats):
+            stream = seeds.stream(f"point{index}.rep{repeat}")
+            seed = stream.randint(0, 2**31 - 1)
+            result = measure(**dict(point), seed=seed)
+            row: dict[str, Any] = dict(point)
+            if repeats > 1:
+                row["repeat"] = repeat
+            row.update(result)
+            rows.append(row)
+    return rows
+
+
+def aggregate_mean(rows: Sequence[Mapping[str, Any]],
+                   group_by: Sequence[str],
+                   fields: Sequence[str]) -> list[dict[str, Any]]:
+    """Average ``fields`` over rows sharing the same ``group_by`` values."""
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row[name] for name in group_by)
+        groups.setdefault(key, []).append(row)
+    aggregated = []
+    for key, members in groups.items():
+        entry: dict[str, Any] = dict(zip(group_by, key))
+        for field in fields:
+            values = [float(member[field]) for member in members]
+            entry[field] = sum(values) / len(values)
+        entry["samples"] = len(members)
+        aggregated.append(entry)
+    return aggregated

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for benchmark and example output.
+
+No plotting dependency exists in this environment, so every reproduced
+table and figure is printed as aligned text; ``render_table`` is the
+single formatter all benchmarks share, keeping their output uniform and
+diffable (EXPERIMENTS.md embeds these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dictionaries as an aligned text table.
+
+    Args:
+        rows: one mapping per row.
+        columns: column order; defaults to the first row's key order.
+        title: optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    table = [[_format_cell(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(key), *(len(line[index]) for line in table))
+        for index, key in enumerate(keys)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = "  ".join(key.ljust(width) for key, width in zip(keys, widths))
+    parts.append(header)
+    parts.append("  ".join("-" * width for width in widths))
+    for line in table:
+        parts.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(parts)
+
+
+def render_series(title: str, xs: Sequence[Any], ys: Sequence[Any],
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 50) -> str:
+    """Render one (x, y) series as a labelled horizontal bar chart.
+
+    The textual stand-in for the paper's figures: magnitude is readable at
+    a glance and exact values are printed beside each bar.
+    """
+    numeric = [float(y) for y in ys]
+    peak = max((abs(value) for value in numeric), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [title, f"{x_label:>12} | {y_label}"]
+    for x, y in zip(xs, numeric):
+        bar = "#" * max(0, int(round(abs(y) * scale)))
+        lines.append(f"{str(x):>12} | {bar} {y:.2f}")
+    return "\n".join(lines)
+
+
+def render_comparison(title: str,
+                      rows: Sequence[Mapping[str, Any]],
+                      baseline_key: str,
+                      value_key: str,
+                      label_key: str = "network") -> str:
+    """Table plus a normalised column relative to a named baseline row."""
+    baseline = None
+    for row in rows:
+        if row.get(label_key) == baseline_key:
+            baseline = float(row[value_key])
+            break
+    augmented = []
+    for row in rows:
+        extended = dict(row)
+        if baseline and baseline > 0:
+            extended[f"{value_key}_vs_{baseline_key}"] = (
+                float(row[value_key]) / baseline
+            )
+        augmented.append(extended)
+    return render_table(augmented, title=title)

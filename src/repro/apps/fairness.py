@@ -1,0 +1,83 @@
+"""Fairness metrics for network access.
+
+Paper Section 2.2 worries that top-lane-only insertion risks "being
+unfair in providing network access to different PEs", and claims the
+compaction process alleviates it.  This module quantifies that claim:
+
+* :func:`jain_index` — Jain's fairness index over per-node service
+  metrics (1.0 = perfectly fair, 1/n = one node hogs everything);
+* :func:`per_node_waits` — injection waiting time per source node;
+* :func:`fairness_report` — both, over a finished ring.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.network import RMBRing
+from repro.errors import WorkloadError
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Zero-valued entries are legitimate (a node that never waited);
+    an empty input is an error.  An all-zero input is perfectly fair.
+    """
+    if not values:
+        raise WorkloadError("fairness of an empty sample is undefined")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def per_node_waits(ring: RMBRing) -> dict[int, float]:
+    """Mean injection wait (request to HF insertion) per source node."""
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for record in ring.routing.records.values():
+        if record.injected_at is None:
+            continue
+        node = record.message.source
+        sums[node] = sums.get(node, 0.0) + (
+            record.injected_at - record.message.created_at
+        )
+        counts[node] = counts.get(node, 0) + 1
+    return {node: sums[node] / counts[node] for node in sums}
+
+
+def per_node_latencies(ring: RMBRing) -> dict[int, float]:
+    """Mean delivery latency per source node."""
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for record in ring.routing.records.values():
+        latency = record.latency()
+        if latency is None:
+            continue
+        node = record.message.source
+        sums[node] = sums.get(node, 0.0) + latency
+        counts[node] = counts.get(node, 0) + 1
+    return {node: sums[node] / counts[node] for node in sums}
+
+
+def fairness_report(ring: RMBRing) -> dict[str, float]:
+    """Jain indices for injection waits and latencies across nodes."""
+    waits = per_node_waits(ring)
+    latencies = per_node_latencies(ring)
+    report: dict[str, float] = {}
+    if waits:
+        report["injection_wait_fairness"] = jain_index(list(waits.values()))
+        report["max_mean_wait"] = max(waits.values())
+        report["min_mean_wait"] = min(waits.values())
+    if latencies:
+        report["latency_fairness"] = jain_index(list(latencies.values()))
+    return report
+
+
+def spread(values: Mapping[int, float]) -> float:
+    """Max minus min of a per-node metric (0 for uniform service)."""
+    if not values:
+        return 0.0
+    return max(values.values()) - min(values.values())

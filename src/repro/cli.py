@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the library's main entry points without writing
+any code:
+
+* ``run`` — simulate traffic on one RMB ring and print statistics;
+* ``race`` — route one permutation family across the comparison networks;
+* ``cost`` — print the Section 3.2 hardware cost table;
+* ``trace`` — render the compaction process frame by frame (Figures 2/3);
+* ``selfcheck`` — validate the protocol implementation in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import cost_table, render_comparison, render_table
+from repro.core import Message, RMBConfig, RMBRing
+from repro.core.trace_render import render_grid
+from repro.networks import (
+    EXTRA_NETWORKS,
+    PAPER_NETWORKS,
+    build_network,
+    make_batch,
+    permutation_pairs,
+)
+from repro.sim import RandomStream
+from repro.traffic import FAMILIES, bernoulli_schedule, generate, replay_on_ring
+
+
+def _add_geometry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", "-n", type=int, default=16,
+                        help="ring size N (even, >= 4)")
+    parser.add_argument("--lanes", "-k", type=int, default=4,
+                        help="bus lanes k")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RMB (HPCA 1996) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="simulate random traffic on an RMB ring")
+    _add_geometry(run)
+    run.add_argument("--messages", "-m", type=int, default=64,
+                     help="number of messages")
+    run.add_argument("--flits", "-f", type=int, default=16,
+                     help="data flits per message")
+    run.add_argument("--rate", type=float, default=0.02,
+                     help="per-node injection probability per tick")
+    run.add_argument("--asynchronous", action="store_true",
+                     help="independent skewed INC clocks (rules 1-5)")
+
+    race = commands.add_parser(
+        "race", help="race one permutation across all networks")
+    _add_geometry(race)
+    race.add_argument("--family", choices=sorted(FAMILIES),
+                      default="random", help="permutation family")
+    race.add_argument("--flits", "-f", type=int, default=16)
+
+    cost = commands.add_parser(
+        "cost", help="print the Section 3.2 hardware cost table")
+    _add_geometry(cost)
+
+    trace = commands.add_parser(
+        "trace", help="render the compaction process frame by frame")
+    _add_geometry(trace)
+    trace.add_argument("--frames", type=int, default=8)
+    trace.add_argument("--step", type=float, default=8.0,
+                       help="ticks between frames")
+
+    commands.add_parser(
+        "selfcheck",
+        help="validate the protocol implementation on this machine",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def command_run(args: argparse.Namespace) -> int:
+    if args.rate <= 0.0:
+        print("--rate must be positive")
+        return 1
+    config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
+                       cycle_period=2.0,
+                       synchronous=not args.asynchronous)
+    ring = RMBRing(config, seed=args.seed, probe_period=8.0)
+    rng = RandomStream(args.seed, name="cli")
+    duration = max(1, int(args.messages / (args.rate * args.nodes)))
+    schedule = bernoulli_schedule(
+        args.nodes, duration, args.rate, args.flits, rng)
+    if len(schedule) == 0:
+        print("the requested rate produced no messages; raise --rate "
+              "or --messages")
+        return 1
+    replay_on_ring(ring, schedule)
+    ring.run(schedule.horizon() + 1)
+    ring.drain()
+    stats = ring.stats()
+    rows = [{"metric": key, "value": round(value, 3)}
+            for key, value in stats.summary().items()]
+    mode = "asynchronous" if args.asynchronous else "synchronous"
+    print(render_table(
+        rows,
+        title=(f"RMB N={args.nodes} k={args.lanes} ({mode}), "
+               f"{len(schedule)} messages @ rate {args.rate}"),
+    ))
+    return 0
+
+
+def command_race(args: argparse.Namespace) -> int:
+    rng = RandomStream(args.seed, name="cli")
+    perm = generate(args.family, args.nodes, rng)
+    batch_pairs = permutation_pairs(perm)
+    rows = []
+    for name in PAPER_NETWORKS + EXTRA_NETWORKS:
+        network = build_network(name, args.nodes, args.lanes,
+                                seed=args.seed)
+        result = network.route_batch(
+            make_batch(batch_pairs, data_flits=args.flits),
+            max_ticks=2_000_000,
+        )
+        rows.append(result.row())
+    print(render_comparison(
+        f"{args.family} permutation, N={args.nodes}, k={args.lanes}",
+        rows, baseline_key="rmb", value_key="makespan",
+    ))
+    return 0
+
+
+def command_cost(args: argparse.Namespace) -> int:
+    rows = [row.as_dict() for row in cost_table(args.nodes, args.lanes)]
+    print(render_table(
+        rows,
+        title=(f"Section 3.2 hardware cost, N={args.nodes}, "
+               f"k={args.lanes}"),
+    ))
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    config = RMBConfig(nodes=args.nodes, lanes=args.lanes, cycle_period=2.0)
+    ring = RMBRing(config, seed=args.seed)
+    rng = RandomStream(args.seed, name="cli")
+    for index in range(args.nodes // 2):
+        source = rng.randint(0, args.nodes - 1)
+        destination = (source + rng.randint(2, args.nodes - 2)) % args.nodes
+        delay = index * args.step
+        message = Message(index, source, destination, data_flits=80,
+                          created_at=delay)
+        ring.sim.schedule_at(delay, _submitter(ring, message))
+    for _ in range(args.frames):
+        print(f"--- t = {ring.sim.now:6.1f}  cycle = {ring.cycle_count()}")
+        print(render_grid(ring.grid))
+        print()
+        ring.run(args.step)
+    ring.drain()
+    print(f"drained: {ring.stats().completed} messages, "
+          f"{ring.compaction.stats.moves} compaction moves")
+    return 0
+
+
+def _submitter(ring: RMBRing, message: Message):
+    def submit() -> None:
+        ring.submit(message)
+
+    return submit
+
+
+def command_selfcheck(args: argparse.Namespace) -> int:
+    from repro.core.selfcheck import run_selfcheck
+
+    results = run_selfcheck()
+    rows = [{"check": result.name,
+             "status": "PASS" if result.passed else "FAIL",
+             "detail": result.detail}
+            for result in results]
+    print(render_table(rows, title="repro selfcheck"))
+    failed = sum(1 for result in results if not result.passed)
+    if failed:
+        print(f"\n{failed} check(s) FAILED")
+        return 1
+    print(f"\nall {len(results)} checks passed")
+    return 0
+
+
+COMMANDS = {
+    "run": command_run,
+    "race": command_race,
+    "cost": command_cost,
+    "trace": command_trace,
+    "selfcheck": command_selfcheck,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The RMB core — the paper's contribution.
+
+Public surface: build an :class:`RMBRing` (or :class:`TwoRingRMB`) from an
+:class:`RMBConfig`, submit :class:`Message` objects, run or drain, then
+read :class:`RunStats`.  Lower layers (grid, compaction, cycles, routing)
+are exported for tests, benchmarks and power users.
+"""
+
+from repro.core.compaction import CompactionEngine, CompactionStats, Move
+from repro.core.config import RMBConfig, TwoRingConfig
+from repro.core.cycles import (
+    CycleController,
+    GlobalCycleDriver,
+    HandshakePhase,
+    max_neighbour_skew,
+    wire_ring,
+)
+from repro.core.flits import (
+    AckKind,
+    Flit,
+    FlitKind,
+    Message,
+    MessageRecord,
+    broadcast_message,
+)
+from repro.core.invariants import InvariantMonitor
+from repro.core.network import RMBRing, TwoRingRMB
+from repro.core.ports import PE_SOURCE, PortView, all_ports, inc_ports, port_view
+from repro.core.routing import RoutingEngine, drain
+from repro.core.segments import SegmentGrid
+from repro.core.selfcheck import CheckResult, run_selfcheck
+from repro.core.stats import RunStats
+from repro.core.status import (
+    ALL_CONDITIONS,
+    CODE_MEANINGS,
+    LEGAL_CODES,
+    classify_condition,
+    code_for,
+    is_legal,
+    move_sequences,
+)
+from repro.core.trace_render import film, glyph_for, render_bus, render_grid, render_ring
+from repro.core.virtual_bus import BusPhase, VirtualBus
+
+__all__ = [
+    "ALL_CONDITIONS",
+    "AckKind",
+    "BusPhase",
+    "CODE_MEANINGS",
+    "CompactionEngine",
+    "CompactionStats",
+    "CycleController",
+    "Flit",
+    "FlitKind",
+    "GlobalCycleDriver",
+    "HandshakePhase",
+    "InvariantMonitor",
+    "LEGAL_CODES",
+    "Message",
+    "MessageRecord",
+    "Move",
+    "PE_SOURCE",
+    "PortView",
+    "RMBConfig",
+    "RMBRing",
+    "RoutingEngine",
+    "RunStats",
+    "CheckResult",
+    "SegmentGrid",
+    "TwoRingConfig",
+    "TwoRingRMB",
+    "VirtualBus",
+    "all_ports",
+    "broadcast_message",
+    "classify_condition",
+    "code_for",
+    "drain",
+    "film",
+    "glyph_for",
+    "inc_ports",
+    "is_legal",
+    "max_neighbour_skew",
+    "move_sequences",
+    "port_view",
+    "render_bus",
+    "render_grid",
+    "render_ring",
+    "run_selfcheck",
+    "wire_ring",
+]

@@ -1,0 +1,290 @@
+"""The bus-compaction engine — paper Sections 2.3/2.4, Figures 5/7/8.
+
+Compaction continuously migrates virtual buses *downward* onto the lowest
+free lanes so the top lane stays available for new header flits.  A single
+local move shifts one bus's claim on segment ``(i, l)`` to ``(i, l-1)``.
+
+Legality of a move (design decision D1, equal to Figure 7's four
+conditions):
+
+* target lane ``(i, l-1)`` is free;
+* the bus enters the upstream INC at lane ``l-1`` or ``l`` (or starts there);
+* the bus leaves the downstream INC at lane ``l-1`` or ``l`` (or ends there).
+
+Scheduling of moves (D2): segment ``(i, l)`` is *considered* in cycle ``c``
+iff ``(i + l + c)`` is even — the paper's rule that even INCs consider even
+lanes in even cycles and so on.  Two engines are provided:
+
+* :meth:`CompactionEngine.global_pass` — synchronous mode: all INCs share a
+  cycle counter; decisions use a start-of-cycle snapshot and conflicts
+  between adjacent hops of one bus are resolved *higher-lane-first* (D3),
+  which reproduces Figure 5's "whole bus drops one lane in two cycles".
+* :meth:`CompactionEngine.inc_pass` — asynchronous mode: each INC moves its
+  own output segments when its cycle controller reaches the WORK phase;
+  moves commit atomically in event order, so legality is always evaluated
+  against current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import RMBConfig
+from repro.core.segments import SegmentGrid
+from repro.core.status import classify_condition, move_sequences
+from repro.core.virtual_bus import BusPhase, VirtualBus
+from repro.errors import ProtocolError
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class Move:
+    """One committed compaction move (for traces and condition accounting)."""
+
+    time: float
+    cycle: int
+    segment: int
+    lane_from: int
+    bus_id: int
+    condition: str
+
+
+@dataclass
+class CompactionStats:
+    """Aggregated compaction activity."""
+
+    moves: int = 0
+    cycles_run: int = 0
+    condition_counts: dict[str, int] = field(default_factory=dict)
+
+    def count(self, condition: str) -> None:
+        self.moves += 1
+        self.condition_counts[condition] = (
+            self.condition_counts.get(condition, 0) + 1
+        )
+
+
+class CompactionEngine:
+    """Executes compaction moves against a grid and its virtual buses."""
+
+    def __init__(
+        self,
+        config: RMBConfig,
+        grid: SegmentGrid,
+        buses: dict[int, VirtualBus],
+        trace: Optional[TraceRecorder] = None,
+        now: Optional[callable] = None,
+    ) -> None:
+        self.config = config
+        self.grid = grid
+        self.buses = buses
+        self.trace = trace
+        self._now = now if now is not None else (lambda: 0.0)
+        self.stats = CompactionStats()
+        self.recent_moves: list[Move] = []
+        self.keep_move_log = False
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+    def _hop_at(self, segment: int, lane: int) -> Optional[tuple[VirtualBus, int]]:
+        """The (bus, hop index) holding a segment, or ``None``."""
+        bus_id = self.grid.occupant(segment, lane)
+        if bus_id is None:
+            return None
+        bus = self.buses[bus_id]
+        hop = bus.hop_of_segment(segment)
+        if hop is None or bus.hops[hop] != lane or hop not in bus.held_hops():
+            raise ProtocolError(
+                f"grid/bus inconsistency at segment ({segment}, {lane}): "
+                f"{bus.describe()}"
+            )
+        return bus, hop
+
+    def move_legal(self, segment: int, lane: int) -> bool:
+        """D1: may the occupant of ``(segment, lane)`` drop one lane now?"""
+        if lane < 1:
+            return False
+        held = self._hop_at(segment, lane)
+        if held is None:
+            return False
+        if not self.grid.is_free(segment, lane - 1):
+            return False
+        bus, hop = held
+        if (not self.config.compact_head_while_extending
+                and bus.phase is BusPhase.EXTENDING
+                and hop == len(bus.hops) - 1
+                and not bus.complete):
+            # D9: keep a travelling header high so packed columns ahead
+            # stay within its +/-1 reach (see RMBConfig docs).
+            return False
+        upstream = bus.upstream_lane(hop)
+        if upstream is not None and upstream not in (lane - 1, lane):
+            return False
+        downstream = bus.downstream_lane(hop)
+        if downstream is not None and downstream not in (lane - 1, lane):
+            return False
+        return True
+
+    def segment_state(self, segment: int, lane: int) -> str:
+        """Figure 8 classification: ``free`` / ``in-use`` /
+        ``switchable-down``."""
+        if self.grid.is_free(segment, lane):
+            return "free"
+        return "switchable-down" if self.move_legal(segment, lane) else "in-use"
+
+    @staticmethod
+    def considered(segment: int, lane: int, cycle: int) -> bool:
+        """D2 parity rule: is ``(segment, lane)`` evaluated in ``cycle``?"""
+        return (segment + lane + cycle) % 2 == 0
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def _commit(self, segment: int, lane: int, cycle: int) -> None:
+        """Execute one legal move, updating grid, bus, registers and stats."""
+        held = self._hop_at(segment, lane)
+        assert held is not None
+        bus, hop = held
+        upstream = bus.upstream_lane(hop)
+        downstream = bus.downstream_lane(hop)
+        # Walk the make-before-break register sequences; raises if any step
+        # would need an illegal Table 1 code (it cannot, given D1 holds —
+        # this is the executable form of the paper's Figure 7 argument).
+        for sequence in move_sequences(upstream, lane, downstream):
+            if not sequence.validates():
+                raise ProtocolError(
+                    f"illegal register sequence during move of "
+                    f"{bus.describe()} at segment {segment}"
+                )
+        self.grid.move_down(segment, lane, bus.bus_id)
+        bus.hops[hop] = lane - 1
+        bus.record.lanes_visited.add(lane - 1)
+        condition = classify_condition(upstream, lane, downstream)
+        self.stats.count(condition)
+        if self.keep_move_log:
+            self.recent_moves.append(
+                Move(self._now(), cycle, segment, lane, bus.bus_id, condition)
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self._now(), "compaction_move", f"bus{bus.bus_id}",
+                segment=segment, lane_from=lane, lane_to=lane - 1,
+                cycle=cycle, condition=condition,
+            )
+
+    # ------------------------------------------------------------------
+    # Synchronous mode
+    # ------------------------------------------------------------------
+    def global_pass(self, cycle: int) -> int:
+        """One synchronous compaction cycle over the whole ring.
+
+        Decisions are taken on a start-of-cycle snapshot; conflicting moves
+        on adjacent hops of one bus are resolved higher-lane-first (D3).
+        Returns the number of moves committed.
+        """
+        if not self.config.compaction_enabled:
+            return 0
+        self.stats.cycles_run += 1
+        snapshot_free = {
+            (segment, lane)
+            for segment in range(self.grid.nodes)
+            for lane in self.grid.free_lanes(segment)
+        }
+        candidates: list[tuple[int, int, int, int]] = []  # lane, seg, bus, hop
+        for segment, lane, bus_id in list(self.grid.iter_occupied()):
+            if lane < 1 or not self.considered(segment, lane, cycle):
+                continue
+            if (segment, lane - 1) not in snapshot_free:
+                continue
+            bus = self.buses[bus_id]
+            hop = bus.hop_of_segment(segment)
+            if hop is None or hop not in bus.held_hops():
+                continue
+            if (not self.config.compact_head_while_extending
+                    and bus.phase is BusPhase.EXTENDING
+                    and hop == len(bus.hops) - 1
+                    and not bus.complete):
+                continue  # D9: travelling headers stay high
+            upstream = bus.upstream_lane(hop)
+            if upstream is not None and upstream not in (lane - 1, lane):
+                continue
+            downstream = bus.downstream_lane(hop)
+            if downstream is not None and downstream not in (lane - 1, lane):
+                continue
+            candidates.append((lane, segment, bus_id, hop))
+
+        committed_hops: set[tuple[int, int]] = set()  # (bus_id, hop)
+        moves = 0
+        for lane, segment, bus_id, hop in sorted(candidates, reverse=True):
+            if (bus_id, hop - 1) in committed_hops or \
+               (bus_id, hop + 1) in committed_hops:
+                continue  # D3: adjacent hop of the same bus already moved
+            # Re-verify against committed state: a neighbouring hop's move
+            # may have changed this hop's upstream/downstream lane.
+            if not self.move_legal(segment, lane):
+                continue
+            self._commit(segment, lane, cycle)
+            committed_hops.add((bus_id, hop))
+            moves += 1
+        return moves
+
+    # ------------------------------------------------------------------
+    # Asynchronous mode
+    # ------------------------------------------------------------------
+    def inc_pass(self, inc_index: int, cycle: int) -> int:
+        """Compaction work of one INC for its local ``cycle``.
+
+        The INC owns the segments on its output side.  Moves are committed
+        immediately (event-atomic); the parity rule keeps adjacent INCs'
+        concurrent work on disjoint lanes.
+        """
+        if not self.config.compaction_enabled:
+            return 0
+        moves = 0
+        for lane in range(1, self.grid.lanes):
+            if not self.considered(inc_index, lane, cycle):
+                continue
+            if self.move_legal(inc_index, lane):
+                self._commit(inc_index, lane, cycle)
+                moves += 1
+        return moves
+
+    # ------------------------------------------------------------------
+    # Helpers for tests and benchmarks
+    # ------------------------------------------------------------------
+    def quiesce(self, max_cycles: int = 10_000) -> int:
+        """Run synchronous cycles until no move fires twice in a row.
+
+        Returns the number of cycles executed.  Two consecutive idle cycles
+        are required because the parity rule hides half the lanes each
+        cycle.
+        """
+        idle_streak = 0
+        cycles = 0
+        start = self.stats.cycles_run
+        while idle_streak < 2:
+            if cycles > max_cycles:
+                raise ProtocolError(
+                    f"compaction failed to quiesce within {max_cycles} cycles"
+                )
+            moved = self.global_pass(start + cycles)
+            idle_streak = idle_streak + 1 if moved == 0 else 0
+            cycles += 1
+        return cycles
+
+    def fully_packed(self) -> bool:
+        """True iff every segment column is bottom-packed *where possible*.
+
+        Note that packing is constrained by bus connectivity (a hop cannot
+        sit more than one lane from its neighbours), so column-packedness
+        is only guaranteed at quiescence for buses that are straight; the
+        stronger per-column check lives in :meth:`SegmentGrid.is_packed`
+        and is asserted by the benchmarks under the appropriate workloads.
+        """
+        for segment in range(self.grid.nodes):
+            for lane in range(1, self.grid.lanes):
+                if self.move_legal(segment, lane):
+                    return False
+        return True

@@ -1,0 +1,165 @@
+"""Configuration for an RMB network instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RMBConfig:
+    """Design parameters of one RMB ring (paper Section 2).
+
+    Attributes:
+        nodes: number of processing nodes ``N`` on the ring.  Must be even:
+            the odd/even cycle protocol marks INCs by position parity, which
+            is consistent around a ring only for even ``N``.
+        lanes: number of physical bus segments ``k`` between adjacent INCs.
+            The paper calls this the design parameter chosen from system
+            size, tolerable bus length, and target applications.
+        flit_period: simulation ticks for a flit (or ack signal) to cross
+            one segment.
+        cycle_period: nominal ticks per odd/even compaction cycle.  The two
+            periods are independent knobs, reflecting the paper's decoupling
+            of routing and compaction synchronisation.
+        synchronous: if True, all INCs share one global cycle counter (fast
+            mode); if False, each INC runs the rules-1-to-5 handshake off an
+            independent skewed clock.
+        clock_drift: max per-INC relative frequency error in async mode.
+        clock_jitter_fraction: per-edge jitter as a fraction of
+            ``cycle_period`` in async mode.
+        compaction_enabled: master switch, used by the ablation experiment
+            (E17).  With compaction off, virtual buses stay on the lanes the
+            header drew and the top lane is only released at teardown.
+        retry_delay: ticks a source waits after a Nack before re-requesting.
+        retry_backoff: multiplier applied to ``retry_delay`` per extra Nack
+            (1.0 = constant retry interval).
+        max_retries: give up after this many Nacks (``None`` = never).
+        extend_up: whether a stalled header may extend onto lane ``l+1``
+            when lanes ``l-1`` and ``l`` ahead are busy.  The paper's INC
+            crossbar permits it; keeping it on is required for Theorem 1's
+            full-utilisation behaviour.
+        header_timeout: consecutive stalled ticks after which an extending
+            header gives up, releases its partial virtual bus (as if
+            Nacked) and retries.  ``None`` disables the timeout.  The paper
+            does not specify behaviour for mutually-blocking partial
+            circuits (possible when message spans cover the ring and all
+            lanes fill); the timeout restores liveness without changing
+            behaviour in the uncongested regimes the paper analyses
+            (design decision D8).
+        retry_jitter: fraction of the retry delay drawn uniformly at random
+            and added, to break symmetric retry livelock.
+        tx_ports: concurrent outgoing messages a PE interface supports
+            (paper Section 2.1: "it is possible for the interface to be
+            enhanced to permit the PE to talk concurrently with multiple
+            inputs and outputs").  All insertions still share the top
+            lane, so extra ports pay serialised injection.
+        rx_ports: concurrent incoming messages a PE interface supports.
+        compact_head_while_extending: whether compaction may move the
+            *head* hop of a bus whose header is still travelling.  The
+            paper is ambiguous; moving it maximises packing but drags a
+            stalled header to the bottom of the lane stack, where packed
+            columns ahead leave free lanes only near the top — outside the
+            header's +/-1 reach — so it can stall until a teardown frees a
+            low lane (recovered by ``header_timeout``).  Keeping the head
+            hop high (the default) preserves reachability and makes
+            load-within-capacity circuit sets establish without retries
+            (design decision D9; ablated in E17).
+    """
+
+    nodes: int
+    lanes: int
+    flit_period: float = 1.0
+    cycle_period: float = 4.0
+    synchronous: bool = True
+    clock_drift: float = 0.03
+    clock_jitter_fraction: float = 0.05
+    compaction_enabled: bool = True
+    retry_delay: float = 16.0
+    retry_backoff: float = 2.0
+    max_retries: int | None = None
+    extend_up: bool = True
+    header_timeout: float | None = 128.0
+    retry_jitter: float = 0.5
+    compact_head_while_extending: bool = False
+    tx_ports: int = 1
+    rx_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nodes < 4:
+            raise ConfigurationError(
+                f"an RMB ring needs at least 4 nodes, got {self.nodes}"
+            )
+        if self.nodes % 2 != 0:
+            raise ConfigurationError(
+                f"the odd/even cycle protocol needs an even node count on a "
+                f"ring, got {self.nodes}"
+            )
+        if self.lanes < 1:
+            raise ConfigurationError(f"need at least 1 lane, got {self.lanes}")
+        if self.flit_period <= 0:
+            raise ConfigurationError("flit_period must be positive")
+        if self.cycle_period <= 0:
+            raise ConfigurationError("cycle_period must be positive")
+        if self.retry_delay <= 0:
+            raise ConfigurationError("retry_delay must be positive")
+        if self.retry_backoff < 1.0:
+            raise ConfigurationError("retry_backoff must be >= 1.0")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0 or None")
+        if not 0.0 <= self.clock_drift < 0.5:
+            raise ConfigurationError("clock_drift must be in [0, 0.5)")
+        if not 0.0 <= self.clock_jitter_fraction < 0.5:
+            raise ConfigurationError("clock_jitter_fraction must be in [0, 0.5)")
+        if self.header_timeout is not None and self.header_timeout <= 0:
+            raise ConfigurationError("header_timeout must be positive or None")
+        if self.retry_jitter < 0:
+            raise ConfigurationError("retry_jitter must be >= 0")
+        if self.tx_ports < 1 or self.rx_ports < 1:
+            raise ConfigurationError("tx_ports and rx_ports must be >= 1")
+        if self.tx_ports > self.lanes:
+            raise ConfigurationError(
+                "tx_ports cannot exceed the lane count: all insertions "
+                "share the single top-lane segment at the source INC"
+            )
+
+    @property
+    def top_lane(self) -> int:
+        """Index of the insertion lane, ``k - 1``."""
+        return self.lanes - 1
+
+    def with_overrides(self, **changes: Any) -> "RMBConfig":
+        """A copy with some fields replaced (validated again)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TwoRingConfig:
+    """A bidirectional RMB: two unidirectional rings (paper Section 2.1).
+
+    The paper notes "one may like to organise the communication as two
+    parallel unidirectional rings".  Hardware is held comparable to a
+    single ring by giving each direction its own lane budget.
+    """
+
+    nodes: int
+    lanes_clockwise: int
+    lanes_counterclockwise: int
+    base: RMBConfig = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.lanes_clockwise < 1 or self.lanes_counterclockwise < 1:
+            raise ConfigurationError("each ring direction needs >= 1 lane")
+        if self.base is None:
+            object.__setattr__(
+                self, "base", RMBConfig(nodes=self.nodes, lanes=1)
+            )
+        if self.base.nodes != self.nodes:
+            raise ConfigurationError("base config node count mismatch")
+
+    def ring_config(self, clockwise: bool) -> RMBConfig:
+        """The :class:`RMBConfig` for one of the two directions."""
+        lanes = self.lanes_clockwise if clockwise else self.lanes_counterclockwise
+        return self.base.with_overrides(nodes=self.nodes, lanes=lanes)

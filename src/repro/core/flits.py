@@ -1,0 +1,203 @@
+"""Flit and acknowledgement vocabulary of the RMB protocol.
+
+Paper Section 2.2: a request is a **header flit** (HF) carrying the
+destination address, followed by **data flits** (DF) and a **final flit**
+(FF).  Four acknowledgement signals travel the opposite direction on the
+same virtual bus: **Hack** (header accepted, data may flow), **Dack**
+(data-flit flow control), **Fack** (teardown: frees ports as it passes) and
+**Nack** (refusal: releases the partial virtual bus).
+
+The simulator is phase-based rather than per-flit, but the vocabulary is
+kept explicit so traces and tests speak the paper's language.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class FlitKind(enum.Enum):
+    """Forward-travelling flit types (clockwise on the virtual bus)."""
+
+    HEADER = "HF"
+    DATA = "DF"
+    FINAL = "FF"
+
+
+class AckKind(enum.Enum):
+    """Reverse-travelling acknowledgement signals (counter-clockwise)."""
+
+    HACK = "Hack"
+    DACK = "Dack"
+    FACK = "Fack"
+    NACK = "Nack"
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of a message.
+
+    Attributes:
+        kind: header/data/final.
+        message_id: owning message.
+        index: 0 for the header, 1..L for data, L+1 for the final flit.
+    """
+
+    kind: FlitKind
+    message_id: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.message_id}.{self.index})"
+
+
+@dataclass
+class Message:
+    """An application-level message offered to the network.
+
+    Attributes:
+        message_id: unique id assigned by the workload driver.
+        source: sending node index.
+        destination: receiving node index (must differ from source).  For
+            a multicast this is the *last* stop in clockwise order.
+        data_flits: number of DFs between the HF and the FF.
+        created_at: simulation time the PE issued the request.
+        extra_destinations: additional receivers *tapped* along the
+            virtual bus (the paper's Section 1 multicast extension,
+            implemented here).  Each must lie strictly between ``source``
+            and ``destination`` in clockwise order; every listed node
+            reads the same flit stream as it passes.
+    """
+
+    message_id: int
+    source: int
+    destination: int
+    data_flits: int
+    created_at: float = 0.0
+    extra_destinations: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError(
+                f"message {self.message_id}: source == destination "
+                f"({self.source}); the RMB carries no self-messages"
+            )
+        if self.data_flits < 0:
+            raise ConfigurationError(
+                f"message {self.message_id}: negative data_flits"
+            )
+        stops = set(self.extra_destinations)
+        if len(stops) != len(self.extra_destinations):
+            raise ConfigurationError(
+                f"message {self.message_id}: duplicate extra destinations"
+            )
+        if self.source in stops or self.destination in stops:
+            raise ConfigurationError(
+                f"message {self.message_id}: extra destinations must "
+                "differ from both endpoints"
+            )
+
+    @property
+    def fan_out(self) -> int:
+        """Number of receivers (1 for unicast)."""
+        return 1 + len(self.extra_destinations)
+
+    def all_destinations(self) -> tuple[int, ...]:
+        """Every receiver, final stop last (order as given)."""
+        return self.extra_destinations + (self.destination,)
+
+    def validate_multicast_order(self, ring_size: int) -> None:
+        """Check every tap lies strictly inside the clockwise span.
+
+        Raises:
+            ConfigurationError: when a tap is outside ``source ->
+                destination`` clockwise, so the header would never pass it.
+        """
+        span = self.span(ring_size)
+        for stop in self.extra_destinations:
+            offset = (stop - self.source) % ring_size
+            if not 0 < offset < span:
+                raise ConfigurationError(
+                    f"message {self.message_id}: tap {stop} is not on the "
+                    f"clockwise path {self.source}->{self.destination}"
+                )
+
+    @property
+    def total_flits(self) -> int:
+        """HF + DFs + FF."""
+        return self.data_flits + 2
+
+    def flits(self) -> list[Flit]:
+        """Materialise the flit train (used by tests and the renderer)."""
+        train = [Flit(FlitKind.HEADER, self.message_id, 0)]
+        train.extend(
+            Flit(FlitKind.DATA, self.message_id, i + 1)
+            for i in range(self.data_flits)
+        )
+        train.append(Flit(FlitKind.FINAL, self.message_id, self.data_flits + 1))
+        return train
+
+    def span(self, ring_size: int) -> int:
+        """Clockwise hop count from source to destination on an N-ring."""
+        return (self.destination - self.source) % ring_size
+
+
+@dataclass
+class MessageRecord:
+    """Lifecycle timestamps and counters for one message, filled by the
+    routing engine and consumed by :mod:`repro.core.stats`.
+
+    Times are ``None`` until the corresponding event happens.
+    """
+
+    message: Message
+    injected_at: Optional[float] = None      # HF entered the top lane
+    established_at: Optional[float] = None   # Hack returned to the source
+    delivered_at: Optional[float] = None     # FF reached the destination
+    completed_at: Optional[float] = None     # Fack returned, ports freed
+    nacks: int = 0                           # refusals by the destination
+    retries: int = 0                         # re-injections after Nack
+    head_stall_ticks: int = 0                # ticks the HF spent blocked
+    lanes_visited: set[int] = field(default_factory=set)
+    tap_delivered_at: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    def latency(self) -> Optional[float]:
+        """Request-to-delivery latency, or ``None`` if still in flight."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.message.created_at
+
+    def setup_time(self) -> Optional[float]:
+        """Request-to-circuit-established time, or ``None``."""
+        if self.established_at is None:
+            return None
+        return self.established_at - self.message.created_at
+
+
+def broadcast_message(message_id: int, source: int, nodes: int,
+                      data_flits: int,
+                      created_at: float = 0.0) -> Message:
+    """A broadcast as one multicast bus: every other node is a receiver.
+
+    The virtual bus spans the whole ring (``N - 1`` segments); the final
+    stop is the source's counter-clockwise neighbour and every node in
+    between taps the stream — the paper's Section 1 "broadcasting"
+    extension in one call.
+    """
+    if nodes < 3:
+        raise ConfigurationError(
+            f"broadcast needs at least 3 nodes, got {nodes}"
+        )
+    final = (source - 1) % nodes
+    taps = tuple((source + offset) % nodes for offset in range(1, nodes - 1))
+    return Message(message_id=message_id, source=source, destination=final,
+                   data_flits=data_flits, created_at=created_at,
+                   extra_destinations=taps)

@@ -1,0 +1,143 @@
+"""Runtime invariant monitors for the RMB simulator.
+
+Each check is a pure function over current simulator state that raises
+:class:`~repro.errors.InvariantViolation` with a precise description on
+failure.  :class:`InvariantMonitor` bundles them for periodic execution
+during long runs — every experiment in ``benchmarks/`` runs with the
+monitor armed, so reported numbers come from runs whose protocol state was
+continuously validated.
+
+The checks encode the paper's correctness claims:
+
+* structural — grid/bus agreement, lane bounds, ±1 hop adjacency
+  (the "virtual bus is never disconnected" property behind Figure 4);
+* monotonicity — a placed hop only ever moves downward;
+* Table 1 — all port registers hold legal codes;
+* Lemma 1 — neighbouring INCs' cycle counts differ by at most one;
+* Theorem 1 (safety half) — distinct virtual buses never share a segment,
+  so every transaction is maintained unchanged; the liveness half (all
+  requests complete) is asserted by :func:`repro.core.routing.drain`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.cycles import CycleController
+from repro.core.ports import validate_ports
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import VirtualBus
+from repro.errors import InvariantViolation, ProtocolError
+
+
+def check_grid_bus_agreement(
+    grid: SegmentGrid, buses: dict[int, VirtualBus]
+) -> None:
+    """Grid occupancy and bus hop lists must describe the same state."""
+    seen: dict[tuple[int, int], int] = {}
+    for segment, lane, bus_id in grid.iter_occupied():
+        if bus_id not in buses:
+            raise InvariantViolation(
+                f"segment ({segment}, {lane}) held by unknown bus {bus_id}"
+            )
+        seen[(segment, lane)] = bus_id
+    for bus in buses.values():
+        for hop in bus.held_hops():
+            key = (bus.segment_index(hop), bus.hops[hop])
+            if seen.get(key) != bus.bus_id:
+                raise InvariantViolation(
+                    f"{bus.describe()}: hop {hop} claims segment {key} but "
+                    f"the grid records {seen.get(key)!r}"
+                )
+            del seen[key]
+    if seen:
+        raise InvariantViolation(
+            f"grid holds segments owned by no live hop: {sorted(seen)}"
+        )
+
+
+def check_bus_shapes(buses: dict[int, VirtualBus], lanes: int) -> None:
+    """Every bus is a connected ±1 lane path within bounds."""
+    for bus in buses.values():
+        try:
+            bus.validate_shape(lanes)
+        except ProtocolError as exc:
+            raise InvariantViolation(str(exc)) from exc
+
+
+class LaneMonotonicity:
+    """Tracks that each hop's lane never increases after placement.
+
+    Compaction moves only downward (the paper: "the motion of virtual
+    buses for the purpose of compaction is only downwards"), and header
+    extension appends fresh hops; so per-hop lanes must be non-increasing
+    over time.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[tuple[int, int], int] = {}   # (bus, hop) -> lane
+
+    def observe(self, buses: dict[int, VirtualBus]) -> None:
+        live_keys = set()
+        for bus in buses.values():
+            for hop in bus.held_hops():
+                key = (bus.bus_id, hop)
+                live_keys.add(key)
+                lane = bus.hops[hop]
+                previous = self._last.get(key)
+                if previous is not None and lane > previous:
+                    raise InvariantViolation(
+                        f"{bus.describe()}: hop {hop} rose from lane "
+                        f"{previous} to {lane}; compaction must be downward"
+                    )
+                self._last[key] = lane
+        # Forget released hops so bus ids can be reused safely.
+        for key in list(self._last):
+            if key not in live_keys:
+                del self._last[key]
+
+
+def check_lemma1(controllers: Sequence[CycleController]) -> None:
+    """Lemma 1: neighbouring cycle counts differ by at most one."""
+    count = len(controllers)
+    for index in range(count):
+        left = controllers[index]
+        right = controllers[(index + 1) % count]
+        skew = abs(left.cycle - right.cycle)
+        if skew > 1:
+            raise InvariantViolation(
+                f"Lemma 1 violated: INC {left.index} at cycle {left.cycle}, "
+                f"INC {right.index} at cycle {right.cycle} (skew {skew})"
+            )
+
+
+class InvariantMonitor:
+    """Runs all applicable checks against a ring's live state."""
+
+    def __init__(
+        self,
+        grid: SegmentGrid,
+        buses: dict[int, VirtualBus],
+        controllers: Optional[Sequence[CycleController]] = None,
+        check_ports: bool = True,
+    ) -> None:
+        self.grid = grid
+        self.buses = buses
+        self.controllers = controllers
+        self.check_ports = check_ports
+        self.monotonicity = LaneMonotonicity()
+        self.checks_run = 0
+
+    def check(self) -> None:
+        """Run every check once; raises on the first violation."""
+        check_grid_bus_agreement(self.grid, self.buses)
+        check_bus_shapes(self.buses, self.grid.lanes)
+        self.monotonicity.observe(self.buses)
+        if self.check_ports:
+            try:
+                validate_ports(self.grid, self.buses)
+            except ProtocolError as exc:
+                raise InvariantViolation(str(exc)) from exc
+        if self.controllers is not None:
+            check_lemma1(self.controllers)
+        self.checks_run += 1

@@ -1,0 +1,286 @@
+"""User-facing facades: a single RMB ring and the two-ring variant.
+
+:class:`RMBRing` assembles the full machine — segment grid, routing engine,
+compaction engine, cycle control (global counter in synchronous mode, or
+per-INC handshake controllers on independent skewed clocks in asynchronous
+mode), invariant monitoring, and measurement probes — on one simulator.
+
+:class:`TwoRingRMB` realises the paper's Section 2.1 remark that "one may
+like to organise the communication as two parallel unidirectional rings":
+it runs a clockwise and a counter-clockwise ring on a shared simulator and
+routes each message the short way round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.compaction import CompactionEngine
+from repro.core.config import RMBConfig
+from repro.core.cycles import CycleController, GlobalCycleDriver, wire_ring
+from repro.core.flits import Message, MessageRecord
+from repro.core.invariants import InvariantMonitor
+from repro.core.routing import RoutingEngine
+from repro.core.segments import SegmentGrid
+from repro.core.stats import RunStats
+from repro.core.virtual_bus import VirtualBus
+from repro.errors import ProtocolError
+from repro.sim.clock import skewed_domains
+from repro.sim.kernel import Simulator, every
+from repro.sim.monitor import TimeSeries
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import TraceRecorder
+
+
+class RMBRing:
+    """A complete, runnable RMB ring.
+
+    Args:
+        config: design parameters.
+        seed: root seed for all stochastic elements (clock skew, retry
+            jitter); two rings built with equal arguments behave
+            identically.
+        sim: optional shared simulator (used by :class:`TwoRingRMB`); a
+            private one is created when omitted.
+        trace_kinds: restricts trace recording to these kinds (``None``
+            records everything; pass an empty set to disable).
+        check_invariants: arm the invariant monitor, executed once per
+            compaction cycle.  On by default — every number this library
+            reports comes from a continuously validated run.
+        probe_period: sampling period for the utilisation / live-bus
+            probes; ``None`` disables them.
+        name: label prefix for trace subjects and clock names.
+    """
+
+    def __init__(
+        self,
+        config: RMBConfig,
+        seed: int = 0,
+        sim: Optional[Simulator] = None,
+        trace_kinds: Optional[set[str]] = None,
+        check_invariants: bool = True,
+        probe_period: Optional[float] = None,
+        name: str = "rmb",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.sim = sim if sim is not None else Simulator()
+        self.trace = TraceRecorder(kinds=trace_kinds)
+        self.seeds = SeedSequence(seed)
+        self.grid = SegmentGrid(config.nodes, config.lanes)
+        self.buses: dict[int, VirtualBus] = {}
+        self.routing = RoutingEngine(
+            config,
+            self.grid,
+            self.buses,
+            now=lambda: self.sim.now,
+            schedule=lambda delay, fn: self.sim.schedule(delay, fn),
+            rng=self.seeds.stream("retry"),
+            trace=self.trace,
+        )
+        self.compaction = CompactionEngine(
+            config, self.grid, self.buses,
+            trace=self.trace, now=lambda: self.sim.now,
+        )
+        self.controllers: Optional[list[CycleController]] = None
+        self._global_driver: Optional[GlobalCycleDriver] = None
+        self._build_cycle_machinery()
+        self._stop_flit = every(
+            self.sim, config.flit_period, self.routing.flit_tick,
+            label=f"{name}.flit",
+        )
+        self.monitor: Optional[InvariantMonitor] = None
+        if check_invariants:
+            self.monitor = InvariantMonitor(
+                self.grid, self.buses, controllers=self.controllers
+            )
+            every(self.sim, config.cycle_period, self.monitor.check,
+                  label=f"{name}.invariants")
+        self.utilization = TimeSeries(f"{name}.utilization")
+        self.live_buses = TimeSeries(f"{name}.live_buses")
+        if probe_period is not None:
+            every(self.sim, probe_period, self._sample_probes,
+                  label=f"{name}.probes")
+
+    def _build_cycle_machinery(self) -> None:
+        config = self.config
+        if config.synchronous:
+            driver = GlobalCycleDriver(self.compaction.global_pass)
+            self._global_driver = driver
+            every(self.sim, config.cycle_period, driver.tick,
+                  label=f"{self.name}.cycle")
+        else:
+            controllers = [
+                CycleController(i, self.compaction.inc_pass, trace=self.trace)
+                for i in range(config.nodes)
+            ]
+            wire_ring(controllers)
+            # Each INC evaluates its handshake FSM several times per
+            # nominal cycle so a full odd/even cycle takes roughly
+            # ``cycle_period`` ticks end to end (5 FSM phases per cycle).
+            edge_period = config.cycle_period / 5.0
+            domains = skewed_domains(
+                self.sim,
+                config.nodes,
+                edge_period,
+                rng=self.seeds.stream("clocks"),
+                max_drift=config.clock_drift,
+                max_jitter_fraction=config.clock_jitter_fraction,
+            )
+            for controller, domain in zip(controllers, domains):
+                controller.attach_clock(domain)
+                domain.start()
+            self.controllers = controllers
+
+    # ------------------------------------------------------------------
+    # Workload interface
+    # ------------------------------------------------------------------
+    def submit(self, message: Message) -> MessageRecord:
+        """Queue one message (see :meth:`RoutingEngine.submit`)."""
+        return self.routing.submit(message)
+
+    def submit_all(self, messages: Iterable[Message]) -> list[MessageRecord]:
+        """Queue a batch of messages."""
+        return [self.submit(message) for message in messages]
+
+    def run(self, ticks: float) -> None:
+        """Advance the simulation by ``ticks``."""
+        self.sim.run_ticks(ticks)
+
+    def drain(self, max_ticks: float = 1_000_000.0) -> float:
+        """Run until all submitted traffic completes; return elapsed ticks.
+
+        Raises:
+            ProtocolError: if traffic fails to drain within ``max_ticks``
+                (a liveness failure — Theorem 1 says this must not happen
+                when capacity exists and retries are unlimited).
+        """
+        start = self.sim.now
+        chunk = max(self.config.cycle_period, self.config.flit_period) * 16
+        while self.routing.pending() > 0:
+            if self.sim.now - start > max_ticks:
+                raise ProtocolError(
+                    f"ring failed to drain within {max_ticks} ticks; "
+                    f"{self.routing.pending()} requests outstanding"
+                )
+            self.sim.run_ticks(chunk)
+        return self.sim.now - start
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _sample_probes(self) -> None:
+        self.utilization.record(self.sim.now, self.grid.utilization())
+        self.live_buses.record(self.sim.now, float(self.routing.live_bus_count()))
+
+    def cycle_count(self) -> int:
+        """Current (max) compaction cycle index."""
+        if self._global_driver is not None:
+            return self._global_driver.cycle
+        assert self.controllers is not None
+        return max(controller.cycle for controller in self.controllers)
+
+    def stats(self) -> RunStats:
+        """Aggregate statistics for everything submitted so far."""
+        return RunStats.from_records(
+            self.routing.records.values(),
+            duration=self.sim.now,
+            utilization=self.utilization,
+            live_buses=self.live_buses,
+        )
+
+    def check_now(self) -> None:
+        """Run the invariant suite immediately (test helper)."""
+        if self.monitor is None:
+            self.monitor = InvariantMonitor(
+                self.grid, self.buses, controllers=self.controllers
+            )
+        self.monitor.check()
+
+
+class TwoRingRMB:
+    """Two unidirectional RMB rings sharing one simulator.
+
+    Messages are routed on the ring that gives the shorter span; ties go
+    clockwise.  The counter-clockwise ring is an ordinary :class:`RMBRing`
+    over mirrored node indices (``i -> (N - i) % N``), which turns
+    counter-clockwise physical travel into clockwise logical travel.
+    """
+
+    def __init__(
+        self,
+        config: RMBConfig,
+        lanes_per_direction: Optional[int] = None,
+        seed: int = 0,
+        check_invariants: bool = True,
+        probe_period: Optional[float] = None,
+    ) -> None:
+        lanes = lanes_per_direction
+        if lanes is None:
+            if config.lanes < 2:
+                raise ProtocolError(
+                    "two-ring RMB needs at least 2 lanes to split"
+                )
+            lanes = config.lanes // 2
+        ring_config = config.with_overrides(lanes=lanes)
+        self.config = ring_config
+        self.nodes = config.nodes
+        self.sim = Simulator()
+        self.clockwise = RMBRing(
+            ring_config, seed=seed, sim=self.sim, name="cw",
+            check_invariants=check_invariants, probe_period=probe_period,
+        )
+        self.counterclockwise = RMBRing(
+            ring_config, seed=seed + 1, sim=self.sim, name="ccw",
+            check_invariants=check_invariants, probe_period=probe_period,
+        )
+        self._ring_of_message: dict[int, RMBRing] = {}
+
+    def _mirror(self, node: int) -> int:
+        return (self.nodes - node) % self.nodes
+
+    def submit(self, message: Message) -> MessageRecord:
+        """Route the message the short way round."""
+        clockwise_span = (message.destination - message.source) % self.nodes
+        if clockwise_span <= self.nodes - clockwise_span:
+            self._ring_of_message[message.message_id] = self.clockwise
+            return self.clockwise.submit(message)
+        mirrored = Message(
+            message_id=message.message_id,
+            source=self._mirror(message.source),
+            destination=self._mirror(message.destination),
+            data_flits=message.data_flits,
+            created_at=message.created_at,
+            extra_destinations=tuple(
+                self._mirror(tap) for tap in message.extra_destinations
+            ),
+        )
+        self._ring_of_message[message.message_id] = self.counterclockwise
+        return self.counterclockwise.submit(mirrored)
+
+    def submit_all(self, messages: Iterable[Message]) -> list[MessageRecord]:
+        return [self.submit(message) for message in messages]
+
+    def pending(self) -> int:
+        return self.clockwise.routing.pending() + \
+            self.counterclockwise.routing.pending()
+
+    def run(self, ticks: float) -> None:
+        self.sim.run_ticks(ticks)
+
+    def drain(self, max_ticks: float = 1_000_000.0) -> float:
+        start = self.sim.now
+        chunk = max(self.config.cycle_period, self.config.flit_period) * 16
+        while self.pending() > 0:
+            if self.sim.now - start > max_ticks:
+                raise ProtocolError(
+                    f"two-ring RMB failed to drain within {max_ticks} ticks"
+                )
+            self.sim.run_ticks(chunk)
+        return self.sim.now - start
+
+    def stats(self) -> RunStats:
+        """Combined statistics over both directions."""
+        records = list(self.clockwise.routing.records.values())
+        records.extend(self.counterclockwise.routing.records.values())
+        return RunStats.from_records(records, duration=self.sim.now)

@@ -1,0 +1,417 @@
+"""The RMB routing protocol engine — paper Sections 2.2/2.3.
+
+Drives the full message lifecycle on one ring:
+
+1. **Admission** — a node's pending request is injected only when its
+   transmit interface is idle *and* the top-lane segment at its INC is
+   free (the paper's top-bus-only insertion rule).
+2. **Extension** — each flit period the header flit advances one segment,
+   entering the next INC on its current lane and leaving on the lowest
+   free reachable lane (``l-1`` preferred, then ``l``, then ``l+1``).  A
+   blocked header waits in place, holding its partial virtual bus, while
+   compaction keeps packing it downward.
+3. **Acceptance** — at the destination, the request is accepted iff the
+   INC/PE receive port is free; the Hack (or Nack) walks back along the
+   virtual bus one segment per flit period.
+4. **Streaming** — data flits flow only after the Hack reaches the source
+   (the paper's stated departure from classic wormhole routing: no
+   intermediate buffering, so Dacks never have to stall the pipeline).
+5. **Teardown** — the FF is delivered, then the Fack walks back, freeing
+   each segment it crosses; freed lanes immediately become compaction
+   targets for the buses above.
+
+Nacked or timed-out requests retry after a configurable, jittered backoff.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.core.config import RMBConfig
+from repro.core.flits import Message, MessageRecord
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import BusPhase, VirtualBus
+from repro.errors import ProtocolError, RoutingError
+from repro.sim.rng import RandomStream
+from repro.sim.trace import TraceRecorder
+
+
+class RoutingEngine:
+    """Message lifecycle driver for one unidirectional RMB ring."""
+
+    def __init__(
+        self,
+        config: RMBConfig,
+        grid: SegmentGrid,
+        buses: dict[int, VirtualBus],
+        now: Callable[[], float],
+        schedule: Callable[[float, Callable[[], None]], object],
+        rng: Optional[RandomStream] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.config = config
+        self.grid = grid
+        self.buses = buses            # live buses, shared with compaction
+        self._now = now
+        self._schedule = schedule
+        self._rng = rng
+        self.trace = trace
+        self._next_bus_id = 0
+        self._queues: list[Deque[Message]] = [deque() for _ in range(config.nodes)]
+        self._tx_active = [0] * config.nodes
+        self._rx_active = [0] * config.nodes
+        # Receive-port reservations per live bus: the nodes (taps plus the
+        # final destination) whose RX port this bus currently holds.
+        self._rx_holders: dict[int, set[int]] = {}
+        self.records: dict[int, MessageRecord] = {}
+        self._stall_ticks: dict[int, int] = {}   # bus_id -> consecutive stalls
+        # Aggregate counters
+        self.injected = 0
+        self.established = 0
+        self.delivered = 0
+        self.completed = 0
+        self.nacked = 0
+        self.timed_out = 0
+        self.abandoned = 0
+        self.flits_delivered = 0
+        self._awaiting_retry = 0
+        #: Optional callback fired when a message fully completes (its
+        #: Fack returned and all ports were freed).  Used by the grid
+        #: composition layer to chain multi-ring journeys.
+        self.on_complete: Optional[Callable[[MessageRecord], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def submit(self, message: Message) -> MessageRecord:
+        """Queue a message for transmission; returns its live record."""
+        self._validate(message)
+        if message.message_id in self.records:
+            raise RoutingError(
+                f"duplicate message id {message.message_id}"
+            )
+        message.validate_multicast_order(self.config.nodes)
+        record = MessageRecord(message=message)
+        self.records[message.message_id] = record
+        self._queues[message.source].append(message)
+        self._record("request", message, source=message.source,
+                     destination=message.destination)
+        return record
+
+    def pending(self) -> int:
+        """Requests queued, in flight, or awaiting a retry timer.
+
+        Zero means the network is fully drained: abandoned messages (the
+        ``max_retries`` path) are not pending.
+        """
+        queued = sum(len(queue) for queue in self._queues)
+        return queued + len(self.buses) + self._awaiting_retry
+
+    def live_bus_count(self) -> int:
+        """Virtual buses currently holding at least one segment."""
+        return sum(1 for bus in self.buses.values() if bus.alive)
+
+    def flit_tick(self) -> None:
+        """Advance the protocol by one flit period.
+
+        Processing order within a tick is fixed for determinism: reverse
+        signals first (they free resources), then data movement, then
+        header extension, then new admissions (which want freshly freed
+        top-lane segments).
+        """
+        self._advance_signals()
+        self._advance_streams()
+        self._advance_headers()
+        self._admit()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        top = self.config.top_lane
+        for node in range(self.config.nodes):
+            if self._tx_active[node] >= self.config.tx_ports:
+                continue
+            queue = self._queues[node]
+            if not queue:
+                continue
+            if not self.grid.is_free(node, top):
+                continue
+            message = queue.popleft()
+            self._inject(message)
+
+    def _inject(self, message: Message) -> None:
+        record = self.records[message.message_id]
+        bus = VirtualBus(
+            bus_id=self._next_bus_id,
+            message=message,
+            record=record,
+            ring_size=self.config.nodes,
+        )
+        self._next_bus_id += 1
+        top = self.config.top_lane
+        self.grid.claim(message.source, top, bus.bus_id)
+        bus.hops.append(top)
+        record.lanes_visited.add(top)
+        if record.injected_at is None:
+            record.injected_at = self._now()
+        self.buses[bus.bus_id] = bus
+        self._tx_active[message.source] += 1
+        self._rx_holders[bus.bus_id] = set()
+        self._stall_ticks[bus.bus_id] = 0
+        self.injected += 1
+        self._record("inject", message, bus=bus.bus_id, lane=top)
+        self._on_header_advanced(bus)
+
+    # ------------------------------------------------------------------
+    # Header extension
+    # ------------------------------------------------------------------
+    def _advance_headers(self) -> None:
+        for bus in list(self.buses.values()):
+            if bus.phase is not BusPhase.EXTENDING or bus.complete:
+                continue
+            next_segment = bus.segment_index(len(bus.hops))
+            lane = self._pick_extension_lane(next_segment, bus.head_lane())
+            if lane is None:
+                self._stall(bus)
+                continue
+            self._stall_ticks[bus.bus_id] = 0
+            self.grid.claim(next_segment, lane, bus.bus_id)
+            bus.hops.append(lane)
+            bus.record.lanes_visited.add(lane)
+            self._record("extend", bus.message, bus=bus.bus_id,
+                         segment=next_segment, lane=lane)
+            self._on_header_advanced(bus)
+
+    def _pick_extension_lane(self, segment: int, entry_lane: int) -> Optional[int]:
+        """Lane the header extends onto at ``segment``, or ``None``.
+
+        Preference order is *straight first*: the header propagates along
+        the lane it is on (the paper's "the request then propagates along
+        that bus"); descending and ascending are fallbacks that let a
+        stalled header slip past a busy lane.  Downward packing of the
+        drawn bus is compaction's job, not the header's.
+        """
+        reachable = [entry_lane, entry_lane - 1]
+        if self.config.extend_up:
+            reachable.append(entry_lane + 1)
+        for lane in reachable:
+            if 0 <= lane < self.config.lanes and self.grid.is_free(segment, lane):
+                return lane
+        return None
+
+    def _stall(self, bus: VirtualBus) -> None:
+        bus.record.head_stall_ticks += 1
+        self._stall_ticks[bus.bus_id] = self._stall_ticks.get(bus.bus_id, 0) + 1
+        timeout = self.config.header_timeout
+        if timeout is not None and \
+                self._stall_ticks[bus.bus_id] * self.config.flit_period >= timeout:
+            self.timed_out += 1
+            self._record("header_timeout", bus.message, bus=bus.bus_id,
+                         hops=len(bus.hops))
+            self._begin_nack_return(bus, timed_out=True)
+
+    def _on_header_advanced(self, bus: VirtualBus) -> None:
+        """Handle the header's arrival at its current INC.
+
+        Tap destinations reserve a receive port as the header passes (the
+        multicast extension); a busy tap refuses the whole request.  At
+        the final destination the request is accepted iff an RX port is
+        free, sending the Hack (or Nack) back along the virtual bus.
+        """
+        at_node = bus.segment_index(len(bus.hops))  # INC the header is at
+        message = bus.message
+        if at_node in message.extra_destinations and not bus.complete:
+            if self._reserve_rx(bus, at_node):
+                self._record("tap_join", message, bus=bus.bus_id,
+                             node=at_node)
+            else:
+                bus.record.nacks += 1
+                self.nacked += 1
+                self._record("nack", message, bus=bus.bus_id,
+                             busy_tap=at_node)
+                self._begin_nack_return(bus, timed_out=False)
+                return
+        if not bus.complete:
+            return
+        if self._reserve_rx(bus, bus.destination):
+            bus.phase = BusPhase.ACK_RETURN
+            bus.signal_position = len(bus.hops) - 1
+            self._record("hack", message, bus=bus.bus_id)
+        else:
+            bus.record.nacks += 1
+            self.nacked += 1
+            self._record("nack", message, bus=bus.bus_id,
+                         busy_destination=bus.destination)
+            self._begin_nack_return(bus, timed_out=False)
+
+    def _reserve_rx(self, bus: VirtualBus, node: int) -> bool:
+        """Claim one RX port at ``node`` for ``bus`` if one is free."""
+        if self._rx_active[node] >= self.config.rx_ports:
+            return False
+        self._rx_active[node] += 1
+        self._rx_holders[bus.bus_id].add(node)
+        return True
+
+    def _release_rx(self, bus: VirtualBus, node: int) -> None:
+        """Return ``bus``'s RX port at ``node``, if it holds one."""
+        if node in self._rx_holders.get(bus.bus_id, ()):
+            self._rx_holders[bus.bus_id].discard(node)
+            self._rx_active[node] -= 1
+
+    # ------------------------------------------------------------------
+    # Reverse signals (Hack / Nack / Fack)
+    # ------------------------------------------------------------------
+    def _begin_nack_return(self, bus: VirtualBus, timed_out: bool) -> None:
+        bus.phase = BusPhase.NACK_RETURN
+        bus.signal_position = len(bus.hops) - 1
+        bus.released_from = len(bus.hops)
+        self._stall_ticks.pop(bus.bus_id, None)
+
+    def _advance_signals(self) -> None:
+        for bus in list(self.buses.values()):
+            if bus.phase is BusPhase.ACK_RETURN:
+                bus.signal_position -= 1
+                if bus.signal_position < 0:
+                    bus.record.established_at = self._now()
+                    self.established += 1
+                    bus.phase = BusPhase.STREAMING
+                    bus.data_sent = 0
+                    self._record("established", bus.message, bus=bus.bus_id)
+            elif bus.phase in (BusPhase.NACK_RETURN, BusPhase.TEARDOWN):
+                self._release_step(bus)
+
+    def _release_step(self, bus: VirtualBus) -> None:
+        position = bus.signal_position
+        if position >= 0:
+            segment = bus.segment_index(position)
+            self.grid.release(segment, bus.hops[position], bus.bus_id)
+            bus.released_from = position
+            bus.signal_position -= 1
+            # The reverse signal passes the INC after this segment; any
+            # tap reservation there is released as it goes by.
+            self._release_rx(bus, (segment + 1) % self.config.nodes)
+        if bus.signal_position < 0:
+            self._finish_release(bus)
+
+    def _finish_release(self, bus: VirtualBus) -> None:
+        source = bus.source
+        self._tx_active[source] -= 1
+        for node in list(self._rx_holders.get(bus.bus_id, ())):
+            self._release_rx(bus, node)
+        self._rx_holders.pop(bus.bus_id, None)
+        if bus.phase is BusPhase.TEARDOWN:
+            bus.phase = BusPhase.DONE
+            bus.record.completed_at = self._now()
+            self.completed += 1
+            self._record("complete", bus.message, bus=bus.bus_id)
+            if self.on_complete is not None:
+                self.on_complete(bus.record)
+        else:
+            bus.phase = BusPhase.REFUSED
+            self._record("refused", bus.message, bus=bus.bus_id)
+            self._schedule_retry(bus)
+        del self.buses[bus.bus_id]
+        self._stall_ticks.pop(bus.bus_id, None)
+
+    def _schedule_retry(self, bus: VirtualBus) -> None:
+        record = bus.record
+        attempts = record.nacks + record.retries
+        if self.config.max_retries is not None and \
+                record.retries >= self.config.max_retries:
+            self.abandoned += 1
+            self._record("abandon", bus.message, bus=bus.bus_id)
+            return
+        record.retries += 1
+        delay = self.config.retry_delay * (
+            self.config.retry_backoff ** max(0, attempts - 1)
+        )
+        if self._rng is not None and self.config.retry_jitter > 0:
+            delay += self._rng.uniform(0, self.config.retry_jitter * delay)
+        message = bus.message
+        self._awaiting_retry += 1
+
+        def requeue() -> None:
+            self._awaiting_retry -= 1
+            self._queues[message.source].append(message)
+
+        self._schedule(delay, requeue)
+
+    # ------------------------------------------------------------------
+    # Data streaming
+    # ------------------------------------------------------------------
+    def _advance_streams(self) -> None:
+        for bus in list(self.buses.values()):
+            if bus.phase is BusPhase.STREAMING:
+                if bus.data_sent < bus.message.data_flits:
+                    bus.data_sent += 1
+                else:
+                    bus.phase = BusPhase.DRAINING
+                    bus.signal_position = 0
+                    self._record("final_flit", bus.message, bus=bus.bus_id)
+            elif bus.phase is BusPhase.DRAINING:
+                bus.signal_position += 1
+                # The FF has crossed hop signal_position - 1, reaching the
+                # INC after it: a tap there has now received every flit.
+                ff_at = bus.segment_index(bus.signal_position - 1)
+                tap_node = (ff_at + 1) % self.config.nodes
+                if tap_node in bus.message.extra_destinations and \
+                        tap_node not in bus.record.tap_delivered_at:
+                    bus.record.tap_delivered_at[tap_node] = self._now()
+                    self.flits_delivered += bus.message.total_flits
+                    self._release_rx(bus, tap_node)
+                    self._record("tap_delivered", bus.message,
+                                 bus=bus.bus_id, node=tap_node)
+                if bus.signal_position >= bus.span:
+                    bus.record.delivered_at = self._now()
+                    self.delivered += 1
+                    self.flits_delivered += bus.message.total_flits
+                    self._release_rx(bus, bus.destination)
+                    bus.phase = BusPhase.TEARDOWN
+                    bus.signal_position = len(bus.hops) - 1
+                    bus.released_from = len(bus.hops)
+                    self._record("delivered", bus.message, bus=bus.bus_id)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _validate(self, message: Message) -> None:
+        nodes = self.config.nodes
+        if not (0 <= message.source < nodes and 0 <= message.destination < nodes):
+            raise RoutingError(
+                f"message {message.message_id}: endpoints "
+                f"({message.source}, {message.destination}) outside 0..{nodes - 1}"
+            )
+
+    def _record(self, kind: str, message: Message, **details: object) -> None:
+        if self.trace is not None:
+            self.trace.record(self._now(), kind, f"msg{message.message_id}",
+                              **details)
+
+    def queue_length(self, node: int) -> int:
+        """Requests still waiting at a node's PE (excludes in-flight)."""
+        return len(self._queues[node])
+
+    def receiver_busy(self, node: int) -> bool:
+        """True while every RX port at ``node`` is claimed."""
+        return self._rx_active[node] >= self.config.rx_ports
+
+
+def drain(engine: RoutingEngine, tick: Callable[[], None],
+          max_ticks: int = 1_000_000) -> int:
+    """Run ``tick`` until the engine has no pending work; return tick count.
+
+    Utility for tests and offline-style experiments where a finite batch of
+    messages must all complete (Theorem 1 liveness).
+    """
+    ticks = 0
+    while engine.pending() > 0:
+        tick()
+        ticks += 1
+        if ticks > max_ticks:
+            raise ProtocolError(
+                f"network failed to drain within {max_ticks} ticks; "
+                f"{engine.pending()} requests outstanding"
+            )
+    return ticks

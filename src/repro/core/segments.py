@@ -1,0 +1,151 @@
+"""Physical bus segments and their occupancy grid.
+
+Segment ``(i, l)`` is the lane-``l`` wire bundle from INC ``i``'s output
+port ``l`` to INC ``(i+1) % N``'s input port ``l``.  The grid tracks which
+virtual bus (by id) occupies each segment; all protocol engines mutate the
+grid through this class so occupancy invariants live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class SegmentGrid:
+    """Occupancy of the ``N x k`` segment array.
+
+    The grid is deliberately dumb: it knows ids, not protocol state.  It
+    enforces exactly one structural rule — a segment carries at most one
+    virtual bus at a time.
+    """
+
+    def __init__(self, nodes: int, lanes: int) -> None:
+        if nodes < 2 or lanes < 1:
+            raise ConfigurationError(
+                f"grid needs >= 2 nodes and >= 1 lane, got {nodes}x{lanes}"
+            )
+        self.nodes = nodes
+        self.lanes = lanes
+        self._occupant: list[list[Optional[int]]] = [
+            [None] * lanes for _ in range(nodes)
+        ]
+        self._occupied_count = 0
+        # Cumulative segment-ticks are integrated externally; the grid
+        # keeps simple structural counters only.
+        self.total_claims = 0
+        self.total_releases = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def occupant(self, segment: int, lane: int) -> Optional[int]:
+        """Virtual-bus id occupying ``(segment, lane)``, or ``None``."""
+        return self._occupant[segment % self.nodes][lane]
+
+    def is_free(self, segment: int, lane: int) -> bool:
+        return self._occupant[segment % self.nodes][lane] is None
+
+    def occupied_segments(self) -> int:
+        """Total segments currently claimed (for utilisation probes)."""
+        return self._occupied_count
+
+    def utilization(self) -> float:
+        """Fraction of all ``N * k`` segments currently in use."""
+        return self._occupied_count / (self.nodes * self.lanes)
+
+    def free_lanes(self, segment: int) -> list[int]:
+        """Free lane indices at one segment column, ascending."""
+        column = self._occupant[segment % self.nodes]
+        return [lane for lane in range(self.lanes) if column[lane] is None]
+
+    def used_lanes(self, segment: int) -> list[int]:
+        """Occupied lane indices at one segment column, ascending."""
+        column = self._occupant[segment % self.nodes]
+        return [lane for lane in range(self.lanes) if column[lane] is not None]
+
+    def column(self, segment: int) -> list[Optional[int]]:
+        """A copy of the occupancy column at ``segment`` (lane order)."""
+        return list(self._occupant[segment % self.nodes])
+
+    def lanes_of(self, bus_id: int) -> dict[int, int]:
+        """Map ``segment -> lane`` for every segment held by ``bus_id``."""
+        held = {}
+        for segment in range(self.nodes):
+            for lane in range(self.lanes):
+                if self._occupant[segment][lane] == bus_id:
+                    held[segment] = lane
+        return held
+
+    def iter_occupied(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(segment, lane, bus_id)`` for every occupied segment."""
+        for segment in range(self.nodes):
+            for lane in range(self.lanes):
+                bus_id = self._occupant[segment][lane]
+                if bus_id is not None:
+                    yield segment, lane, bus_id
+
+    def is_packed(self, segment: int) -> bool:
+        """True iff the column's occupied lanes are exactly ``0..m-1``.
+
+        A fully compacted network has every column packed; the packing
+        benchmarks (E2) assert this at quiescence.
+        """
+        column = self._occupant[segment % self.nodes]
+        seen_free = False
+        for lane in range(self.lanes):
+            if column[lane] is None:
+                seen_free = True
+            elif seen_free:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def claim(self, segment: int, lane: int, bus_id: int) -> None:
+        """Assign a free segment to a virtual bus."""
+        segment %= self.nodes
+        current = self._occupant[segment][lane]
+        if current is not None:
+            raise CapacityError(
+                f"segment ({segment}, {lane}) already carries bus {current}, "
+                f"cannot claim for bus {bus_id}"
+            )
+        self._occupant[segment][lane] = bus_id
+        self._occupied_count += 1
+        self.total_claims += 1
+
+    def release(self, segment: int, lane: int, bus_id: int) -> None:
+        """Free a segment, verifying the releasing bus really held it."""
+        segment %= self.nodes
+        current = self._occupant[segment][lane]
+        if current != bus_id:
+            raise CapacityError(
+                f"segment ({segment}, {lane}) holds {current!r}, "
+                f"bus {bus_id} cannot release it"
+            )
+        self._occupant[segment][lane] = None
+        self._occupied_count -= 1
+        self.total_releases += 1
+
+    def move_down(self, segment: int, lane: int, bus_id: int) -> None:
+        """Atomically move a bus's segment claim from ``lane`` to ``lane-1``.
+
+        The make-before-break electrical sequence is modelled separately in
+        :mod:`repro.core.status`; at the occupancy level the move is atomic.
+        """
+        if lane < 1:
+            raise CapacityError("cannot move below lane 0")
+        segment %= self.nodes
+        if self._occupant[segment][lane] != bus_id:
+            raise CapacityError(
+                f"bus {bus_id} does not hold segment ({segment}, {lane})"
+            )
+        if self._occupant[segment][lane - 1] is not None:
+            raise CapacityError(
+                f"segment ({segment}, {lane - 1}) is occupied; move blocked"
+            )
+        self._occupant[segment][lane] = None
+        self._occupant[segment][lane - 1] = bus_id

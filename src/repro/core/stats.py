@@ -1,0 +1,116 @@
+"""Statistics aggregation for RMB runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.flits import MessageRecord
+from repro.sim.monitor import Tally, TimeSeries, percentile
+
+
+@dataclass
+class RunStats:
+    """Summary of one simulation run, built from message records and probes.
+
+    Attributes:
+        offered: messages submitted.
+        completed: messages fully delivered and torn down.
+        latency: request-to-delivery times of completed messages.
+        setup: request-to-circuit-established times.
+        stalls: per-message header stall tick counts.
+        nacks / retries / abandoned: refusal machinery counters.
+        utilization: time series of segment-occupancy fraction.
+        live_buses: time series of concurrently live virtual-bus counts.
+        duration: simulated ticks covered by the run.
+    """
+
+    offered: int = 0
+    completed: int = 0
+    latency: Tally = field(default_factory=lambda: Tally("latency"))
+    setup: Tally = field(default_factory=lambda: Tally("setup"))
+    stalls: Tally = field(default_factory=lambda: Tally("stalls"))
+    nacks: int = 0
+    retries: int = 0
+    abandoned: int = 0
+    flits_delivered: int = 0
+    utilization: Optional[TimeSeries] = None
+    live_buses: Optional[TimeSeries] = None
+    duration: float = 0.0
+    _latencies: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[MessageRecord],
+        duration: float,
+        utilization: Optional[TimeSeries] = None,
+        live_buses: Optional[TimeSeries] = None,
+    ) -> "RunStats":
+        stats = cls(duration=duration, utilization=utilization,
+                    live_buses=live_buses)
+        for record in records:
+            stats.offered += 1
+            stats.nacks += record.nacks
+            stats.retries += record.retries
+            stats.stalls.add(record.head_stall_ticks)
+            if record.finished:
+                stats.completed += 1
+                stats.flits_delivered += record.message.total_flits
+                latency = record.latency()
+                if latency is not None:
+                    stats.latency.add(latency)
+                    stats._latencies.append(latency)
+                setup = record.setup_time()
+                if setup is not None:
+                    stats.setup.add(setup)
+        return stats
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_flits_per_tick(self) -> float:
+        return self.flits_delivered / self.duration if self.duration else 0.0
+
+    @property
+    def throughput_messages_per_tick(self) -> float:
+        return self.completed / self.duration if self.duration else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile over completed messages (0 when empty)."""
+        if not self._latencies:
+            return 0.0
+        return percentile(sorted(self._latencies), fraction)
+
+    def mean_utilization(self) -> float:
+        """Time-averaged fraction of occupied segments."""
+        if self.utilization is None or len(self.utilization) == 0:
+            return 0.0
+        return self.utilization.time_average()
+
+    def peak_live_buses(self) -> float:
+        """Maximum concurrently live virtual buses observed."""
+        if self.live_buses is None:
+            return 0.0
+        return self.live_buses.peak()
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline numbers (for table rendering)."""
+        return {
+            "offered": float(self.offered),
+            "completed": float(self.completed),
+            "completion_rate": self.completion_rate,
+            "mean_latency": self.latency.mean,
+            "p95_latency": self.latency_percentile(0.95),
+            "max_latency": self.latency.maximum if self.latency.count else 0.0,
+            "mean_setup": self.setup.mean,
+            "mean_stall_ticks": self.stalls.mean,
+            "nacks": float(self.nacks),
+            "retries": float(self.retries),
+            "throughput_flits_per_tick": self.throughput_flits_per_tick,
+            "mean_utilization": self.mean_utilization(),
+            "peak_live_buses": self.peak_live_buses(),
+            "duration": self.duration,
+        }

@@ -1,0 +1,212 @@
+"""Output-port status codes — paper Table 1 and Figures 6/7.
+
+Each INC keeps a 3-bit register per output port describing which input
+ports currently drive it.  With the output port at lane ``l``:
+
+* bit 2 (value 4) — driven **from above**: input port ``l + 1``;
+* bit 1 (value 2) — driven **straight**: input port ``l``;
+* bit 0 (value 1) — driven **from below**: input port ``l - 1``.
+
+Table 1 declares codes ``101`` and ``111`` illegal: an output may be driven
+by two inputs only transiently during make-before-break, and a ±1 lane move
+can only pair *adjacent* sources (above+straight or below+straight), never
+above+below.
+
+This module also encodes the **four legal move conditions** of Figure 7 as
+:func:`move_sequences`: given where the virtual bus enters the upstream INC
+and leaves the downstream INC, it returns the exact intermediate register
+sequences the hardware walks through, which the invariant tests check
+against Table 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+#: Number of distinct register values (3 bits).
+CODE_SPACE = 8
+
+#: Bit masks, named after the paper's vocabulary.
+FROM_ABOVE = 0b100
+STRAIGHT = 0b010
+FROM_BELOW = 0b001
+
+#: The six legal codes of Table 1 (``101`` and ``111`` are "not allowed").
+LEGAL_CODES = frozenset({0b000, 0b001, 0b010, 0b011, 0b100, 0b110})
+
+#: Codes that denote a transient make-before-break superposition.
+TRANSIENT_CODES = frozenset({0b011, 0b110})
+
+#: Table 1 wording, keyed by code.
+CODE_MEANINGS = {
+    0b000: "Bus is unused",
+    0b001: "Port receives from below",
+    0b010: "Port receives straight",
+    0b011: "Port receives from below and straight",
+    0b100: "Port receives from above",
+    0b101: "Not allowed",
+    0b110: "Port receives from above and straight",
+    0b111: "Not allowed",
+}
+
+
+def is_legal(code: int) -> bool:
+    """True iff ``code`` is one of Table 1's six permitted values."""
+    return code in LEGAL_CODES
+
+
+def is_steady(code: int) -> bool:
+    """True iff ``code`` is legal and single-sourced (or unused)."""
+    return code in LEGAL_CODES and code not in TRANSIENT_CODES
+
+
+def sources(code: int, output_lane: int) -> set[int]:
+    """Input lanes driving an output port with the given register value."""
+    if not is_legal(code):
+        raise ProtocolError(
+            f"status code {code:03b} on output lane {output_lane} is not allowed"
+        )
+    feeding = set()
+    if code & FROM_ABOVE:
+        feeding.add(output_lane + 1)
+    if code & STRAIGHT:
+        feeding.add(output_lane)
+    if code & FROM_BELOW:
+        feeding.add(output_lane - 1)
+    return feeding
+
+
+def code_for(input_lane: int, output_lane: int) -> int:
+    """Single-source register value for ``input_lane`` driving ``output_lane``.
+
+    Raises:
+        ProtocolError: if the lanes are more than one apart — the INC
+            crossbar physically cannot make that connection.
+    """
+    delta = input_lane - output_lane
+    if delta == 1:
+        return FROM_ABOVE
+    if delta == 0:
+        return STRAIGHT
+    if delta == -1:
+        return FROM_BELOW
+    raise ProtocolError(
+        f"input lane {input_lane} cannot drive output lane {output_lane}: "
+        "INC ports connect only within +/-1"
+    )
+
+
+class HopSide(enum.Enum):
+    """Which end of a moving segment a port sequence belongs to."""
+
+    UPSTREAM = "upstream"      # output side of INC i (drives the segment)
+    DOWNSTREAM = "downstream"  # input side of INC i+1 (consumes the segment)
+
+
+@dataclass(frozen=True)
+class PortSequence:
+    """The register trajectory of one output port during one lane move.
+
+    ``codes`` always has three entries: before, make (parallel paths), and
+    after break.  ``lane`` is the output port's lane at the owning INC.
+    """
+
+    side: HopSide
+    lane: int
+    codes: tuple[int, int, int]
+
+    def validates(self) -> bool:
+        """True iff every step of the trajectory is a Table 1 legal code."""
+        return all(is_legal(code) for code in self.codes)
+
+
+def move_sequences(
+    upstream_in: int | None,
+    lane: int,
+    downstream_out: int | None,
+) -> list[PortSequence]:
+    """Register sequences for moving a segment from ``lane`` to ``lane - 1``.
+
+    Args:
+        upstream_in: lane on which the virtual bus *enters* the upstream INC,
+            or ``None`` when that INC is the message source (PE-driven).
+        lane: current lane of the moving segment (must be >= 1).
+        downstream_out: lane on which the bus *leaves* the downstream INC,
+            or ``None`` when that INC is the destination (PE-consumed).
+
+    Returns:
+        One :class:`PortSequence` per affected output port (up to four).
+
+    Raises:
+        ProtocolError: if the configuration violates Figure 7's conditions,
+            i.e. ``upstream_in``/``downstream_out`` outside ``{lane-1, lane}``.
+    """
+    if lane < 1:
+        raise ProtocolError("cannot move below lane 0")
+    sequences: list[PortSequence] = []
+
+    if upstream_in is not None:
+        if upstream_in not in (lane - 1, lane):
+            raise ProtocolError(
+                f"move from lane {lane} illegal: bus enters upstream INC at "
+                f"lane {upstream_in}, outside {{{lane - 1}, {lane}}} "
+                "(Figure 7 condition)"
+            )
+        old_code = code_for(upstream_in, lane)
+        new_code = code_for(upstream_in, lane - 1)
+        # Output `lane-1` is made before output `lane` is broken.
+        sequences.append(
+            PortSequence(HopSide.UPSTREAM, lane - 1, (0b000, new_code, new_code))
+        )
+        sequences.append(
+            PortSequence(HopSide.UPSTREAM, lane, (old_code, old_code, 0b000))
+        )
+    # Source INC: the PE drives whichever output lane the bus occupies; no
+    # crossbar registers change on the upstream side.
+
+    if downstream_out is not None:
+        if downstream_out not in (lane - 1, lane):
+            raise ProtocolError(
+                f"move from lane {lane} illegal: bus leaves downstream INC at "
+                f"lane {downstream_out}, outside {{{lane - 1}, {lane}}} "
+                "(Figure 7 condition)"
+            )
+        old_code = code_for(lane, downstream_out)
+        new_code = code_for(lane - 1, downstream_out)
+        make_code = old_code | new_code
+        if not is_legal(make_code):
+            raise ProtocolError(
+                f"make-before-break superposition {make_code:03b} is illegal"
+            )
+        sequences.append(
+            PortSequence(
+                HopSide.DOWNSTREAM, downstream_out, (old_code, make_code, new_code)
+            )
+        )
+    # Destination INC: the PE reads the input lane directly.
+    return sequences
+
+
+def classify_condition(upstream_in: int | None, lane: int,
+                       downstream_out: int | None) -> str:
+    """Name which of Figure 7's four conditions a move instance exercises.
+
+    Source/destination endpoints count as the *straight* flavour (the PE can
+    attach to any lane, which is strictly more permissive).
+    """
+    up = "straight" if upstream_in in (None, lane) else "below"
+    down = "straight" if downstream_out in (None, lane) else "below"
+    return f"upstream-{up}/downstream-{down}"
+
+
+#: All condition names :func:`classify_condition` can produce — exactly four,
+#: matching Figure 7.
+ALL_CONDITIONS = (
+    "upstream-straight/downstream-straight",
+    "upstream-straight/downstream-below",
+    "upstream-below/downstream-straight",
+    "upstream-below/downstream-below",
+)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or illegal parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an illegal state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a finished simulator."""
+
+
+class ProtocolError(ReproError):
+    """An RMB protocol invariant was violated at runtime.
+
+    The invariant monitors in :mod:`repro.core.invariants` raise this when
+    the simulated hardware reaches a state the paper's protocol forbids
+    (for example a disconnected virtual bus or an illegal status code).
+    """
+
+
+class InvariantViolation(ProtocolError):
+    """A checked invariant (Lemma 1, Theorem 1, contiguity, ...) failed."""
+
+
+class RoutingError(ReproError):
+    """A message could not be routed due to malformed addressing."""
+
+
+class TopologyError(ReproError):
+    """A network topology was built with invalid structural parameters."""
+
+
+class CapacityError(ReproError):
+    """A resource (port, lane, channel) was oversubscribed."""
+
+
+class WorkloadError(ReproError):
+    """A traffic pattern or workload specification is invalid."""

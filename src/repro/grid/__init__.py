@@ -1,0 +1,6 @@
+"""Grid-composed RMB fabrics (paper Section 4 future work, realised)."""
+
+from repro.grid.lattice import JourneyRecord, RMBLattice
+from repro.grid.rmb_grid import GridRecord, RMBGrid
+
+__all__ = ["GridRecord", "JourneyRecord", "RMBGrid", "RMBLattice"]

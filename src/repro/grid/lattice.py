@@ -1,0 +1,234 @@
+"""n-dimensional lattices of RMB rings — the full "2- and 3-D grid
+connected computers" direction of paper Section 4.
+
+Generalises :class:`~repro.grid.rmb_grid.RMBGrid`: a processor lattice of
+shape ``(s_0, ..., s_{n-1})`` where every axis-aligned *line* (fix all
+coordinates but one) is its own RMB ring.  A node belongs to ``n`` rings.
+Messages travel dimension-ordered: one ring leg per differing coordinate,
+with a store-and-forward hop at every turn.
+
+For ``n = 2`` this is exactly the grid; ``n = 3`` is the paper's 3-D
+case.  Ring sizes inherit the RMB's even-and-at-least-4 requirement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.config import RMBConfig
+from repro.core.flits import Message, MessageRecord
+from repro.core.network import RMBRing
+from repro.errors import ConfigurationError, ProtocolError, RoutingError
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Tally
+
+
+@dataclass
+class JourneyRecord:
+    """Lifecycle of one message across its dimension-ordered ring legs."""
+
+    message_id: int
+    source: tuple[int, ...]
+    destination: tuple[int, ...]
+    data_flits: int
+    created_at: float
+    dimensions_to_cross: list[int] = field(default_factory=list)
+    legs: list[MessageRecord] = field(default_factory=list)
+    completed_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def legs_total(self) -> int:
+        return len(self.dimensions_to_cross)
+
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+
+class RMBLattice:
+    """An n-dimensional lattice of RMB rings.
+
+    Args:
+        shape: processors per dimension; every entry even and >= 4.
+        lanes: lane count for every ring.
+        base_config: optional parameter template (cycle period, retry
+            policy, ...); ``nodes``/``lanes`` are overridden per ring.
+        seed: root seed.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        lanes: int,
+        base_config: Optional[RMBConfig] = None,
+        seed: int = 0,
+        check_invariants: bool = False,
+    ) -> None:
+        shape = tuple(shape)
+        if len(shape) < 1:
+            raise ConfigurationError("lattice needs at least one dimension")
+        for size in shape:
+            if size < 4 or size % 2:
+                raise ConfigurationError(
+                    f"every lattice dimension must be even and >= 4, "
+                    f"got {shape}"
+                )
+        self.shape = shape
+        self.lanes = lanes
+        self.sim = Simulator()
+        template = base_config if base_config is not None else \
+            RMBConfig(nodes=max(shape), lanes=lanes, cycle_period=2.0)
+        self.rings: dict[tuple, RMBRing] = {}
+        ring_seed = seed
+        for dim, size in enumerate(shape):
+            other_axes = [range(extent) for axis, extent in enumerate(shape)
+                          if axis != dim]
+            for fixed in itertools.product(*other_axes):
+                key = (dim, fixed)
+                ring_seed += 1
+                ring = RMBRing(
+                    template.with_overrides(nodes=size, lanes=lanes),
+                    seed=ring_seed, sim=self.sim,
+                    name=f"d{dim}@{fixed}",
+                    check_invariants=check_invariants,
+                    trace_kinds=set(),
+                )
+                ring.routing.on_complete = self._leg_completed
+                self.rings[key] = ring
+        self.records: dict[int, JourneyRecord] = {}
+        self._leg_index: dict[int, tuple[JourneyRecord, int]] = {}
+        self._leg_counter = 0
+        self.turn_latency = Tally("turn-wait")
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> int:
+        total = 1
+        for size in self.shape:
+            total *= size
+        return total
+
+    def node_id(self, coords: Sequence[int]) -> int:
+        node = 0
+        for size, coordinate in zip(self.shape, coords):
+            node = node * size + coordinate
+        return node
+
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        coords = []
+        for size in reversed(self.shape):
+            coords.append(node % size)
+            node //= size
+        return tuple(reversed(coords))
+
+    def ring_for(self, dim: int, coords: Sequence[int]) -> RMBRing:
+        """The ring running along ``dim`` through the given coordinates."""
+        fixed = tuple(coordinate for axis, coordinate in enumerate(coords)
+                      if axis != dim)
+        return self.rings[(dim, fixed)]
+
+    # ------------------------------------------------------------------
+    # Journeys
+    # ------------------------------------------------------------------
+    def submit(self, message_id: int, source: int, destination: int,
+               data_flits: int) -> JourneyRecord:
+        if message_id in self.records:
+            raise RoutingError(f"duplicate journey id {message_id}")
+        if not (0 <= source < self.nodes and 0 <= destination < self.nodes):
+            raise RoutingError("endpoints outside the lattice")
+        if source == destination:
+            raise RoutingError("lattice carries no self-messages")
+        src = self.coordinates(source)
+        dst = self.coordinates(destination)
+        record = JourneyRecord(
+            message_id=message_id, source=src, destination=dst,
+            data_flits=data_flits, created_at=self.sim.now,
+            dimensions_to_cross=[dim for dim in range(len(self.shape))
+                                 if src[dim] != dst[dim]],
+        )
+        self.records[message_id] = record
+        self._launch_next_leg(record, position=list(src))
+        return record
+
+    def _launch_next_leg(self, record: JourneyRecord,
+                         position: list[int]) -> None:
+        leg_number = len(record.legs)
+        dim = record.dimensions_to_cross[leg_number]
+        ring = self.ring_for(dim, position)
+        self._leg_counter += 1
+        # Leg message ids are globally unique across all rings, so the
+        # completion callback can resolve its journey by id alone.
+        message = Message(
+            message_id=self._leg_counter,
+            source=position[dim],
+            destination=record.destination[dim],
+            data_flits=record.data_flits,
+            created_at=self.sim.now,
+        )
+        leg_record = ring.submit(message)
+        record.legs.append(leg_record)
+        self._leg_index[message.message_id] = (record, leg_number)
+
+    def _leg_completed(self, leg_record: MessageRecord) -> None:
+        entry = self._leg_index.pop(leg_record.message.message_id, None)
+        if entry is None:  # pragma: no cover - every leg is registered
+            raise ProtocolError("completion for an unknown lattice leg")
+        record, leg_number = entry
+        if leg_number + 1 == record.legs_total:
+            record.completed_at = self.sim.now
+            return
+        # Compute the position after this leg and forward.
+        position = list(record.source)
+        for done in range(leg_number + 1):
+            dim = record.dimensions_to_cross[done]
+            position[dim] = record.destination[dim]
+        self.turn_latency.add(self.sim.now - record.created_at)
+        self._launch_next_leg(record, position)
+
+    # ------------------------------------------------------------------
+    # Execution / statistics
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        unfinished = sum(1 for record in self.records.values()
+                         if not record.finished)
+        in_rings = sum(ring.routing.pending()
+                       for ring in self.rings.values())
+        return max(unfinished, in_rings)
+
+    def run(self, ticks: float) -> None:
+        self.sim.run_ticks(ticks)
+
+    def drain(self, max_ticks: float = 4_000_000.0) -> float:
+        start = self.sim.now
+        while self.pending() > 0:
+            if self.sim.now - start > max_ticks:
+                raise ProtocolError(
+                    f"lattice failed to drain within {max_ticks} ticks"
+                )
+            self.sim.run_ticks(32)
+        return self.sim.now - start
+
+    def completed(self) -> int:
+        return sum(1 for record in self.records.values() if record.finished)
+
+    def latency_tally(self) -> Tally:
+        tally = Tally("lattice-latency")
+        for record in self.records.values():
+            latency = record.latency()
+            if latency is not None:
+                tally.add(latency)
+        return tally
+
+    def describe(self) -> str:
+        shape = "x".join(str(size) for size in self.shape)
+        return (f"rmb-lattice({shape}, k={self.lanes}, "
+                f"{len(self.rings)} rings)")

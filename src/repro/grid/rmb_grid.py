@@ -1,0 +1,236 @@
+"""A 2-D grid of RMB rings — the paper's Section 4 future-work direction
+"the design of reconfigurable multiple bus systems for 2- and 3-D grid
+connected computers", realised.
+
+Topology: a ``rows x cols`` processor array.  Every row is one RMB ring
+over its ``cols`` nodes and every column is one RMB ring over its
+``rows`` nodes; a node belongs to exactly one row ring and one column
+ring (the classic ring-mesh composition).  All rings share a single
+simulator, so the whole fabric advances in one time base.
+
+Routing is dimension-ordered: a message first rides its source's *row*
+ring to the destination column, is received by the turning node's PE, and
+is then re-injected on that node's *column* ring to the destination row
+(single-leg when the endpoints share a row or column).  The store-and-
+forward hop at the turn is the honest cost of composing circuit-switched
+rings — exactly the design question the paper left open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import RMBConfig
+from repro.core.flits import Message, MessageRecord
+from repro.core.network import RMBRing
+from repro.errors import ConfigurationError, ProtocolError, RoutingError
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Tally
+
+
+@dataclass
+class GridRecord:
+    """Lifecycle of one grid message across its (up to two) ring legs."""
+
+    message_id: int
+    source: tuple[int, int]
+    destination: tuple[int, int]
+    data_flits: int
+    created_at: float
+    legs_total: int = 0
+    legs_done: int = 0
+    first_leg: Optional[MessageRecord] = None
+    second_leg: Optional[MessageRecord] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+
+class RMBGrid:
+    """A rows x cols fabric of row and column RMB rings.
+
+    Args:
+        rows / cols: grid dimensions; both must be even (each ring obeys
+            the RMB's even-node-count requirement) and >= 4.
+        lanes: lane count used by every ring.
+        base_config: optional template for ring parameters other than
+            ``nodes``/``lanes`` (cycle period, retry policy, ...).
+        seed: root seed; each ring derives an independent stream.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        lanes: int,
+        base_config: Optional[RMBConfig] = None,
+        seed: int = 0,
+        check_invariants: bool = True,
+    ) -> None:
+        if rows < 4 or cols < 4 or rows % 2 or cols % 2:
+            raise ConfigurationError(
+                f"grid dimensions must be even and >= 4, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.lanes = lanes
+        self.sim = Simulator()
+        template = base_config if base_config is not None else \
+            RMBConfig(nodes=max(rows, cols), lanes=lanes, cycle_period=2.0)
+        self.row_rings = [
+            RMBRing(template.with_overrides(nodes=cols, lanes=lanes),
+                    seed=seed * 1009 + row, sim=self.sim,
+                    name=f"row{row}", check_invariants=check_invariants,
+                    trace_kinds=set())
+            for row in range(rows)
+        ]
+        self.col_rings = [
+            RMBRing(template.with_overrides(nodes=rows, lanes=lanes),
+                    seed=seed * 2003 + col, sim=self.sim,
+                    name=f"col{col}", check_invariants=check_invariants,
+                    trace_kinds=set())
+            for col in range(cols)
+        ]
+        for ring in self.row_rings + self.col_rings:
+            ring.routing.on_complete = self._leg_completed
+        self.records: dict[int, GridRecord] = {}
+        # Ring-local message id -> (grid record, which leg) bookkeeping.
+        self._leg_index: dict[int, tuple[GridRecord, int]] = {}
+        self._next_leg_id = 0
+        self.turn_latency = Tally("turn-wait")
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> int:
+        return self.rows * self.cols
+
+    def node_id(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def position(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.cols)
+
+    # ------------------------------------------------------------------
+    # Submission and leg chaining
+    # ------------------------------------------------------------------
+    def submit(self, message_id: int, source: int, destination: int,
+               data_flits: int) -> GridRecord:
+        """Offer a message between two grid nodes (global node ids)."""
+        if message_id in self.records:
+            raise RoutingError(f"duplicate grid message id {message_id}")
+        if not (0 <= source < self.nodes and 0 <= destination < self.nodes):
+            raise RoutingError(
+                f"endpoints ({source}, {destination}) outside the "
+                f"{self.rows}x{self.cols} grid"
+            )
+        if source == destination:
+            raise RoutingError("grid carries no self-messages")
+        src = self.position(source)
+        dst = self.position(destination)
+        record = GridRecord(
+            message_id=message_id, source=src, destination=dst,
+            data_flits=data_flits, created_at=self.sim.now,
+        )
+        record.legs_total = 1 if (src[0] == dst[0] or src[1] == dst[1]) else 2
+        self.records[message_id] = record
+        if src[0] == dst[0]:
+            # Same row: a single row-ring leg.
+            self._launch_leg(record, leg=record.legs_total,
+                             ring=self.row_rings[src[0]],
+                             ring_source=src[1], ring_destination=dst[1])
+        elif src[1] == dst[1]:
+            # Same column: a single column-ring leg.
+            self._launch_leg(record, leg=record.legs_total,
+                             ring=self.col_rings[src[1]],
+                             ring_source=src[0], ring_destination=dst[0])
+        else:
+            # Row first (to the destination column), column second.
+            self._launch_leg(record, leg=1,
+                             ring=self.row_rings[src[0]],
+                             ring_source=src[1], ring_destination=dst[1])
+        return record
+
+    def _launch_leg(self, record: GridRecord, leg: int, ring: RMBRing,
+                    ring_source: int, ring_destination: int) -> None:
+        leg_id = self._next_leg_id
+        self._next_leg_id += 1
+        message = Message(
+            message_id=leg_id, source=ring_source,
+            destination=ring_destination, data_flits=record.data_flits,
+            created_at=self.sim.now,
+        )
+        leg_record = ring.submit(message)
+        if leg == 1 and record.legs_total == 2:
+            record.first_leg = leg_record
+        else:
+            record.second_leg = leg_record
+        self._leg_index[leg_id] = (record, leg)
+
+    def _leg_completed(self, leg_record: MessageRecord) -> None:
+        entry = self._leg_index.pop(leg_record.message.message_id, None)
+        if entry is None:  # pragma: no cover - ids are always registered
+            raise ProtocolError("completion for an unknown grid leg")
+        record, leg = entry
+        record.legs_done += 1
+        if record.legs_done == record.legs_total:
+            record.completed_at = self.sim.now
+            return
+        # The turning node (destination row of leg 1's ring is the source
+        # row of leg 2) forwards onto its column ring.
+        turn_row = record.source[0]
+        turn_col = record.destination[1]
+        self.turn_latency.add(self.sim.now - record.created_at)
+        self._launch_leg(record, leg=2,
+                         ring=self.col_rings[turn_col],
+                         ring_source=turn_row,
+                         ring_destination=record.destination[0])
+
+    # ------------------------------------------------------------------
+    # Execution and statistics
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        queued = sum(ring.routing.pending()
+                     for ring in self.row_rings + self.col_rings)
+        unfinished = sum(1 for record in self.records.values()
+                         if not record.finished)
+        return max(queued, unfinished)
+
+    def run(self, ticks: float) -> None:
+        self.sim.run_ticks(ticks)
+
+    def drain(self, max_ticks: float = 2_000_000.0) -> float:
+        start = self.sim.now
+        while self.pending() > 0:
+            if self.sim.now - start > max_ticks:
+                raise ProtocolError(
+                    f"grid failed to drain within {max_ticks} ticks; "
+                    f"{self.pending()} journeys outstanding"
+                )
+            self.sim.run_ticks(32)
+        return self.sim.now - start
+
+    def latency_tally(self) -> Tally:
+        """Latency distribution over completed grid journeys."""
+        tally = Tally("grid-latency")
+        for record in self.records.values():
+            latency = record.latency()
+            if latency is not None:
+                tally.add(latency)
+        return tally
+
+    def completed(self) -> int:
+        return sum(1 for record in self.records.values() if record.finished)
+
+    def describe(self) -> str:
+        return (f"rmb-grid({self.rows}x{self.cols}, k={self.lanes}, "
+                f"{self.rows + self.cols} rings)")

@@ -1,0 +1,117 @@
+"""Common interface for the comparison networks of paper Section 3.
+
+Every network — the RMB itself, hypercube, EHC, fat-tree, mesh, the
+conventional arbitrated multiple bus, and the ideal crossbar — implements
+:class:`ComparisonNetwork`, so the permutation-race benchmarks treat them
+uniformly: submit a batch of messages (typically a permutation), run to
+completion, and read a :class:`BatchResult`.
+
+Time bases are aligned across networks: one tick moves one flit across one
+channel/segment, which is the paper's own normalisation (it assumes "the
+cost of a cross point and the cost of a link are similar in different
+architectures").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.flits import Message
+from repro.sim.monitor import Tally, percentile
+
+
+@dataclass
+class BatchResult:
+    """Outcome of routing one message batch to completion.
+
+    Attributes:
+        network: reporting network's name.
+        nodes: node count.
+        makespan: ticks from batch start until the last delivery.
+        latencies: per-message delivery latencies (creation to last flit).
+        delivered: messages delivered (equals the batch size on success).
+    """
+
+    network: str
+    nodes: int
+    makespan: float
+    latencies: list[float] = field(default_factory=list)
+    delivered: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        tally = Tally()
+        for value in self.latencies:
+            tally.add(value)
+        return tally.mean
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return percentile(sorted(self.latencies), fraction)
+
+    def row(self) -> dict[str, float | str]:
+        """Flat dictionary for table rendering."""
+        return {
+            "network": self.network,
+            "nodes": self.nodes,
+            "delivered": self.delivered,
+            "makespan": self.makespan,
+            "mean_latency": round(self.mean_latency, 2),
+            "max_latency": self.max_latency,
+        }
+
+
+class ComparisonNetwork(abc.ABC):
+    """A network that can route a finite batch of messages to completion."""
+
+    #: Short identifier used in tables ("rmb", "hypercube", ...).
+    name: str = "network"
+
+    def __init__(self, nodes: int) -> None:
+        self.nodes = nodes
+
+    @abc.abstractmethod
+    def route_batch(self, messages: Sequence[Message],
+                    max_ticks: float = 1_000_000.0) -> BatchResult:
+        """Deliver every message; return timing statistics.
+
+        Implementations must raise :class:`repro.errors.ProtocolError` (or
+        a subclass) rather than loop forever if the batch cannot drain
+        within ``max_ticks``.
+        """
+
+    def describe(self) -> str:
+        return f"{self.name}(N={self.nodes})"
+
+
+def make_batch(pairs: Sequence[tuple[int, int]], data_flits: int,
+               start_id: int = 0) -> list[Message]:
+    """Build a message batch from (source, destination) pairs.
+
+    Pairs with ``source == destination`` are skipped — a fixed point of a
+    permutation needs no communication on any of the compared networks.
+    """
+    messages = []
+    next_id = start_id
+    for source, destination in pairs:
+        if source == destination:
+            continue
+        messages.append(
+            Message(message_id=next_id, source=source,
+                    destination=destination, data_flits=data_flits)
+        )
+        next_id += 1
+    return messages
+
+
+def permutation_pairs(permutation: Sequence[int]) -> list[tuple[int, int]]:
+    """Interpret ``permutation[i]`` as the destination of node ``i``."""
+    return [(source, destination)
+            for source, destination in enumerate(permutation)]

@@ -1,0 +1,74 @@
+"""Binary hypercube with e-cube (dimension-order) wormhole routing.
+
+Paper Section 3.1: "An n-cube can be constructed recursively ...
+point-to-point routing is straightforward using an e-cube routing."
+E-cube resolves address bits lowest-first, which is deadlock-free because
+channel dependencies only ever ascend in dimension.
+"""
+
+from __future__ import annotations
+
+from repro.core.flits import Message
+from repro.errors import RoutingError, TopologyError
+from repro.networks.wormhole import Channel, WormholeEngine
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def hypercube_channels(dimension: int,
+                       multiplicities: dict[int, int] | None = None
+                       ) -> list[Channel]:
+    """All directed hypercube channels for ``2**dimension`` nodes.
+
+    Args:
+        dimension: cube dimension ``n``.
+        multiplicities: optional per-dimension link multiplicity override
+            (used by the EHC/GFC variants); default 1 everywhere.
+    """
+    if dimension < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1, got {dimension}")
+    nodes = 1 << dimension
+    channels = []
+    for node in range(nodes):
+        for dim in range(dimension):
+            neighbour = node ^ (1 << dim)
+            width = 1
+            if multiplicities is not None:
+                width = multiplicities.get(dim, 1)
+            channels.append(
+                Channel(source=node, sink=neighbour, multiplicity=width,
+                        label=f"dim{dim}")
+            )
+    return channels
+
+
+def ecube_route(engine: WormholeEngine, message: Message, node: int) -> int:
+    """Resolve the lowest differing address bit first."""
+    difference = node ^ message.destination
+    if difference == 0:
+        raise RoutingError(
+            f"e-cube routing called at the destination node {node}"
+        )
+    dim = (difference & -difference).bit_length() - 1
+    neighbour = node ^ (1 << dim)
+    return engine.channel_between(node, neighbour).index
+
+
+class HypercubeNetwork(WormholeEngine):
+    """An ``n``-cube with e-cube wormhole routing."""
+
+    def __init__(self, nodes: int) -> None:
+        if not is_power_of_two(nodes):
+            raise TopologyError(
+                f"hypercube size must be a power of two, got {nodes}"
+            )
+        dimension = nodes.bit_length() - 1
+        super().__init__(
+            nodes,
+            hypercube_channels(dimension),
+            ecube_route,
+            name="hypercube",
+        )
+        self.dimension = dimension

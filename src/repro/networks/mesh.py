@@ -1,0 +1,88 @@
+"""2-D mesh with XY (dimension-order) wormhole routing.
+
+Paper Section 3.1: "The mesh architecture is another attractive structure.
+With degree 4 nodes, any arbitrary size structure can be derived.  The
+layout is straightforward and routing remains simple."  XY routing is the
+standard deadlock-free choice: resolve the X offset completely, then Y.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.flits import Message
+from repro.errors import RoutingError, TopologyError
+from repro.networks.wormhole import Channel, WormholeEngine
+
+
+def square_side(nodes: int) -> int:
+    """Side length for a square mesh of ``nodes`` (must be a square)."""
+    side = math.isqrt(nodes)
+    if side * side != nodes:
+        raise TopologyError(
+            f"mesh node count must be a perfect square, got {nodes}"
+        )
+    return side
+
+
+def mesh_channels(rows: int, cols: int,
+                  multiplicity: int = 1) -> list[Channel]:
+    """Bidirectional nearest-neighbour channels of a ``rows x cols`` mesh."""
+    if rows < 2 or cols < 2:
+        raise TopologyError(f"mesh needs >= 2x2, got {rows}x{cols}")
+    channels = []
+
+    def node(row: int, col: int) -> int:
+        return row * cols + col
+
+    for row in range(rows):
+        for col in range(cols):
+            here = node(row, col)
+            if col + 1 < cols:
+                right = node(row, col + 1)
+                channels.append(Channel(here, right, multiplicity, "east"))
+                channels.append(Channel(right, here, multiplicity, "west"))
+            if row + 1 < rows:
+                below = node(row + 1, col)
+                channels.append(Channel(here, below, multiplicity, "south"))
+                channels.append(Channel(below, here, multiplicity, "north"))
+    return channels
+
+
+class MeshNetwork(WormholeEngine):
+    """Square 2-D mesh with XY wormhole routing.
+
+    Args:
+        nodes: total node count (perfect square).
+        multiplicity: wires per channel; the paper's k-permutation scaling
+            of the mesh widens each dimension by sqrt(k), modelled here as
+            channel multiplicity.
+    """
+
+    def __init__(self, nodes: int, multiplicity: int = 1) -> None:
+        side = square_side(nodes)
+        self.rows = side
+        self.cols = side
+        super().__init__(
+            nodes,
+            mesh_channels(side, side, multiplicity),
+            self._xy_route,
+            name="mesh",
+        )
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.cols)
+
+    def _xy_route(self, engine: WormholeEngine, message: Message,
+                  node: int) -> int:
+        row, col = self.coordinates(node)
+        dest_row, dest_col = self.coordinates(message.destination)
+        if col != dest_col:
+            step = 1 if dest_col > col else -1
+            neighbour = row * self.cols + (col + step)
+        elif row != dest_row:
+            step = 1 if dest_row > row else -1
+            neighbour = (row + step) * self.cols + col
+        else:
+            raise RoutingError(f"XY routing called at destination {node}")
+        return engine.channel_between(node, neighbour).index

@@ -1,0 +1,90 @@
+"""Factory registry for comparison networks.
+
+The race benchmarks request networks by name with a common parameter set;
+this module centralises how each architecture is sized "fairly" for a
+k-permutation comparison, following Section 3.2's own normalisations:
+
+* ``rmb`` — N nodes, k lanes;
+* ``rmb-2ring`` — N nodes, k/2 lanes per direction (equal wire budget);
+* ``hypercube`` / ``ehc`` — N nodes (power of two);
+* ``gfc`` — N processors folded into N/fold super-nodes with fold = min(k, N/4)
+  rounded to a power of two (the paper's "scaled GFC");
+* ``fattree`` — N processors, channel capacities capped at k (Figure 11);
+* ``mesh`` — N nodes, channel multiplicity ceil(sqrt(k)) (the paper widens
+  each mesh dimension by sqrt(k) to pass k wires);
+* ``multibus`` — k global arbitrated buses;
+* ``crossbar`` — contention floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.config import RMBConfig
+from repro.errors import ConfigurationError
+from repro.networks.base import ComparisonNetwork
+from repro.networks.crossbar import CrossbarNetwork
+from repro.networks.ehc import EnhancedHypercubeNetwork
+from repro.networks.fattree import FatTreeNetwork
+from repro.networks.gfc import GeneralizedFoldingCubeNetwork
+from repro.networks.hypercube import HypercubeNetwork
+from repro.networks.karyncube import KAryNCubeNetwork
+from repro.networks.mesh import MeshNetwork
+from repro.networks.multibus import MultiBusNetwork
+from repro.networks.rmb_adapter import RMBNetworkAdapter, TwoRingRMBAdapter
+
+
+def _power_of_two_at_most(value: int) -> int:
+    if value < 1:
+        return 1
+    return 1 << (value.bit_length() - 1)
+
+
+def _square_torus(nodes: int) -> KAryNCubeNetwork:
+    """An r x r torus with r = sqrt(nodes); square sizes only."""
+    side = math.isqrt(nodes)
+    if side * side != nodes:
+        raise ConfigurationError(
+            f"karyncube comparison sizes N as a square torus; {nodes} is "
+            "not a perfect square"
+        )
+    return KAryNCubeNetwork(radix=side, dimensions=2)
+
+
+def build_network(name: str, nodes: int, k: int,
+                  seed: int = 0) -> ComparisonNetwork:
+    """Build a named network sized for N nodes and k-permutation support."""
+    builders: dict[str, Callable[[], ComparisonNetwork]] = {
+        "rmb": lambda: RMBNetworkAdapter(
+            RMBConfig(nodes=nodes, lanes=k), seed=seed
+        ),
+        "rmb-2ring": lambda: TwoRingRMBAdapter(
+            RMBConfig(nodes=nodes, lanes=max(2, k)), seed=seed
+        ),
+        "hypercube": lambda: HypercubeNetwork(nodes),
+        "ehc": lambda: EnhancedHypercubeNetwork(nodes),
+        "gfc": lambda: GeneralizedFoldingCubeNetwork(
+            max(2, nodes // max(1, _power_of_two_at_most(min(k, nodes // 4)))),
+            fold=max(1, _power_of_two_at_most(min(k, nodes // 4))),
+        ),
+        "fattree": lambda: FatTreeNetwork(nodes, k=k),
+        "mesh": lambda: MeshNetwork(nodes,
+                                    multiplicity=max(1, math.isqrt(k))),
+        "multibus": lambda: MultiBusNetwork(nodes, buses=k),
+        "crossbar": lambda: CrossbarNetwork(nodes),
+        "karyncube": lambda: _square_torus(nodes),
+    }
+    if name not in builders:
+        raise ConfigurationError(
+            f"unknown network {name!r}; choose from {sorted(builders)}"
+        )
+    return builders[name]()
+
+
+#: Networks the paper's Section 3 comparison covers, in its order.
+PAPER_NETWORKS = ("rmb", "hypercube", "ehc", "gfc", "fattree", "mesh")
+
+#: Extra reference rows this reproduction adds (k-ary n-cube is the
+#: paper's own named future-work comparator, realised as a square torus).
+EXTRA_NETWORKS = ("rmb-2ring", "multibus", "crossbar", "karyncube")

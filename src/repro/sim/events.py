@@ -1,0 +1,116 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a callback bound to a simulation time.  Events are
+totally ordered by ``(time, priority, sequence)`` so that simultaneous
+events execute in a deterministic order: lower priority value first, then
+insertion order.  Determinism matters for reproducibility of every
+experiment in this repository — two runs with the same seed must produce
+identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SchedulingError
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping that must run before normal events at a tick.
+PRIORITY_EARLY = -10
+#: Priority for monitors that must observe the post-update state of a tick.
+PRIORITY_LATE = 10
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created through :meth:`repro.sim.kernel.Simulator.schedule`
+    rather than directly.  The dataclass ordering key is
+    ``(time, priority, seq)``; ``callback`` and friends are excluded from
+    comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    The queue lazily discards cancelled events on pop, which keeps
+    cancellation O(1) at the cost of a small amount of retained memory; the
+    simulations in this library cancel rarely (retry timers mostly), so the
+    trade-off favours cancellation speed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Insert a callback at ``time`` and return its :class:`Event`."""
+        event = Event(time, priority, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SchedulingError: if the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one previously pushed event was cancelled.
+
+        :meth:`Event.cancel` does not know its queue; the kernel calls this
+        to keep the live count accurate.
+        """
+        self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove all live events in order (for shutdown/tests)."""
+        while self:
+            yield self.pop()

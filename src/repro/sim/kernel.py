@@ -1,0 +1,217 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock and the event queue.  It supports two
+styles of use, both employed in this repository:
+
+* **Callback style** — components schedule plain callbacks with
+  :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.  The RMB core
+  uses this style for its tick engines.
+* **Process style** — generator coroutines that ``yield`` delays or
+  :class:`repro.sim.process.Waitable` objects, started with
+  :meth:`Simulator.spawn`.  Workload drivers and the baseline network
+  simulators use this style.
+
+Time is a float but every built-in component uses integral ticks; the
+kernel itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        trace: optional :class:`TraceRecorder` capturing kernel activity.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(5, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._finished = False
+        self.trace = trace
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time!r}, current time is {self._now!r}"
+            )
+        event = self._queue.push(time, callback, priority, label)
+        if self.trace is not None:
+            self.trace.record(self._now, "schedule", label or callback.__name__,
+                              at=time)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Any, name: str = "") -> Process:
+        """Start a generator coroutine as a simulation process.
+
+        The generator may ``yield``:
+
+        * a number — sleep that many time units;
+        * a :class:`repro.sim.process.Waitable` — resume when it fires;
+        * another :class:`Process` — resume when that process completes.
+        """
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        process.start()
+        return process
+
+    def alive_processes(self) -> list[Process]:
+        """Return processes that have not yet completed."""
+        return [p for p in self._processes if not p.finished]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> float:
+        """Execute exactly one event and return the new simulation time.
+
+        Raises:
+            SchedulingError: if no events remain.
+        """
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event in the past")
+        self._now = event.time
+        if self.trace is not None:
+            self.trace.record(self._now, "fire", event.label)
+        event.callback()
+        return self._now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event cap.
+
+        Args:
+            until: stop once the next event lies strictly beyond this time;
+                the clock is advanced to ``until``.
+            max_events: safety valve for tests; raise if exceeded.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "possible livelock in the model"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_ticks(self, ticks: float) -> None:
+        """Convenience: advance the clock by ``ticks`` from the current time."""
+        self.run(until=self._now + ticks)
+
+
+def every(
+    sim: Simulator,
+    period: float,
+    callback: Callable[[], Any],
+    start: Optional[float] = None,
+    priority: int = PRIORITY_NORMAL,
+    label: str = "",
+) -> Callable[[], None]:
+    """Schedule ``callback`` periodically; return a function that stops it.
+
+    Used by the RMB tick engines and by monitors.  The callback runs first
+    at ``start`` (default: one period from now) and then every ``period``
+    units until the returned canceller is invoked.
+    """
+    if period <= 0:
+        raise SchedulingError(f"period must be positive, got {period!r}")
+    state: dict[str, Any] = {"stopped": False, "event": None}
+
+    def fire() -> None:
+        if state["stopped"]:
+            return
+        callback()
+        if not state["stopped"]:
+            state["event"] = sim.schedule(period, fire, priority, label)
+
+    first = period if start is None else max(0.0, start - sim.now)
+    state["event"] = sim.schedule(first, fire, priority, label)
+
+    def stop() -> None:
+        state["stopped"] = True
+        if state["event"] is not None:
+            sim.cancel(state["event"])
+
+    return stop
+
+
+def run_all(simulators: Iterable[Simulator], until: float) -> None:
+    """Run several independent simulators to the same horizon (test helper)."""
+    for simulator in simulators:
+        simulator.run(until=until)

@@ -1,0 +1,164 @@
+"""Generator-coroutine processes for the simulation kernel.
+
+A *process* wraps a generator.  Each ``yield`` suspends the process:
+
+* ``yield 5`` — sleep five time units;
+* ``yield waitable`` — park on a :class:`Waitable` until it fires;
+* ``yield other_process`` — join another process.
+
+The style mirrors SimPy, implemented from scratch here because the
+repository must be self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Waitable:
+    """A one-shot condition processes can wait on.
+
+    Calling :meth:`fire` wakes all parked waiters with an optional value.
+    Waiting on an already-fired waitable resumes immediately — this removes
+    a whole class of lost-wakeup races from the models.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Trigger the waitable; idempotent after the first call."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when fired (immediately if already)."""
+        if self._fired:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """A running generator coroutine.
+
+    Completion is observable via :attr:`finished`, :attr:`result` and by
+    yielding the process from another process.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__}"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done = Waitable(name=f"{self.name}.done")
+
+    # The kernel calls start() once, right after construction.
+    def start(self) -> None:
+        self.sim.schedule(0, lambda: self._advance(None), label=self.name)
+
+    def join(self) -> Waitable:
+        """Return a waitable that fires when this process completes."""
+        return self._done
+
+    def _advance(self, sent: Any) -> None:
+        if self.finished:
+            return
+        try:
+            target = self._generator.send(sent)
+        except StopIteration as stop:
+            self._complete(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # surface model bugs with context
+            self.finished = True
+            self.error = exc
+            self._done.fire(None)
+            raise
+        self._park(target)
+
+    def _park(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay {target!r}"
+                )
+            self.sim.schedule(target, lambda: self._advance(None),
+                              label=self.name)
+        elif isinstance(target, Waitable):
+            target.add_callback(lambda value: self._resume_later(value))
+        elif isinstance(target, Process):
+            target.join().add_callback(lambda _:
+                                       self._resume_later(target.result))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+
+    def _resume_later(self, value: Any) -> None:
+        # Resume via the event queue, never synchronously inside fire(),
+        # so wake-ups are ordered deterministically with other events.
+        self.sim.schedule(0, lambda: self._advance(value), label=self.name)
+
+    def _complete(self, value: Any) -> None:
+        self.finished = True
+        self.result = value
+        self._done.fire(value)
+
+
+def all_of(waitables: list[Waitable], name: str = "all_of") -> Waitable:
+    """Return a waitable firing once every input has fired."""
+    combined = Waitable(name=name)
+    remaining = {"count": len(waitables)}
+    if remaining["count"] == 0:
+        combined.fire([])
+        return combined
+    values: list[Any] = [None] * len(waitables)
+
+    def arm(index: int, waitable: Waitable) -> None:
+        def on_fire(value: Any) -> None:
+            values[index] = value
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.fire(values)
+
+        waitable.add_callback(on_fire)
+
+    for index, waitable in enumerate(waitables):
+        arm(index, waitable)
+    return combined
+
+
+def any_of(waitables: list[Waitable], name: str = "any_of") -> Waitable:
+    """Return a waitable firing as soon as any input fires."""
+    combined = Waitable(name=name)
+    for waitable in waitables:
+        waitable.add_callback(combined.fire)
+    return combined

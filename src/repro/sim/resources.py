@@ -1,0 +1,143 @@
+"""Shared-resource primitives for process-style models.
+
+The baseline network simulators (and the conventional multiple-bus with
+arbitration) are built from these: a counted :class:`Resource` with a FIFO
+or round-robin wait queue, and a :class:`Store` used as a bounded mailbox.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import CapacityError, SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Waitable
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``acquire()`` returns a :class:`Waitable` that fires when a unit is
+    granted; the holder must later call :meth:`release` exactly once per
+    grant.  Grants are strictly FIFO, so starvation is impossible — the
+    property the round-robin arbiter baseline relies on.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Waitable] = deque()
+        # instrumentation
+        self.total_grants = 0
+        self.total_wait_time = 0.0
+        self._wait_started: dict[int, float] = {}
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Waitable:
+        """Request a unit; the returned waitable fires on grant."""
+        grant = Waitable(name=f"{self.name}.grant")
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            self.total_grants += 1
+            grant.fire(self.sim.now)
+        else:
+            self._wait_started[id(grant)] = self.sim.now
+            self._waiters.append(grant)
+        return grant
+
+    def try_acquire(self) -> bool:
+        """Take a unit immediately if one is free; never queues."""
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            self.total_grants += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            started = self._wait_started.pop(id(grant), self.sim.now)
+            self.total_wait_time += self.sim.now - started
+            self.total_grants += 1
+            # the unit transfers directly to the waiter; in_use unchanged
+            grant.fire(self.sim.now)
+        else:
+            self.in_use -= 1
+
+    def mean_wait(self) -> float:
+        """Average queueing delay over all grants so far."""
+        if self.total_grants == 0:
+            return 0.0
+        return self.total_wait_time / self.total_grants
+
+
+class Store:
+    """A bounded FIFO mailbox connecting producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "store") -> None:
+        if capacity is not None and capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Waitable] = deque()
+        self._putters: Deque[tuple[Waitable, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Waitable:
+        """Offer an item; the waitable fires once the item is accepted."""
+        done = Waitable(name=f"{self.name}.put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.fire(item)
+            done.fire(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            done.fire(None)
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Waitable:
+        """Request an item; the waitable fires with the item."""
+        got = Waitable(name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                done, pending = self._putters.popleft()
+                self._items.append(pending)
+                done.fire(None)
+            got.fire(item)
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        if self._putters:
+            done, pending = self._putters.popleft()
+            self._items.append(pending)
+            done.fire(None)
+        return True, item

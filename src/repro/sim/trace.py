@@ -1,0 +1,97 @@
+"""Structured trace recording for simulations.
+
+Traces serve three purposes here: debugging protocol models, rendering the
+ASCII figures in the examples, and asserting temporal properties in tests
+(e.g. "the top lane was released within two cycles of the header leaving").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded occurrence: a time, a kind tag, a subject, and details."""
+
+    time: float
+    kind: str
+    subject: str
+    details: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:  # compact human-readable line
+        detail = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[{self.time:>8.1f}] {self.kind:<18} {self.subject} {detail}".rstrip()
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEntry` rows, optionally filtered by kind.
+
+    Args:
+        kinds: if given, only these kinds are retained (others are dropped
+            at record time, keeping long simulations cheap to trace).
+        capacity: optional bound; the oldest entries are discarded beyond it.
+    """
+
+    def __init__(self, kinds: Optional[set[str]] = None,
+                 capacity: Optional[int] = None) -> None:
+        self.kinds = kinds
+        self.capacity = capacity
+        self.entries: list[TraceEntry] = []
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, subject: str, **details: Any) -> None:
+        """Append an entry unless its kind is filtered out."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.entries.append(
+            TraceEntry(time, kind, subject, tuple(sorted(details.items())))
+        )
+        if self.capacity is not None and len(self.entries) > self.capacity:
+            overflow = len(self.entries) - self.capacity
+            del self.entries[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def of_kind(self, kind: str) -> list[TraceEntry]:
+        """All entries with the given kind tag, in time order."""
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def matching(self, predicate: Callable[[TraceEntry], bool]) -> list[TraceEntry]:
+        """All entries satisfying ``predicate``, in time order."""
+        return [entry for entry in self.entries if predicate(entry)]
+
+    def first(self, kind: str) -> Optional[TraceEntry]:
+        """Earliest entry of ``kind``, or ``None``."""
+        for entry in self.entries:
+            if entry.kind == kind:
+                return entry
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEntry]:
+        """Latest entry of ``kind``, or ``None``."""
+        for entry in reversed(self.entries):
+            if entry.kind == kind:
+                return entry
+        return None
+
+    def between(self, start: float, end: float) -> list[TraceEntry]:
+        """Entries with ``start <= time < end``."""
+        return [e for e in self.entries if start <= e.time < end]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line dump (most recent ``limit`` rows)."""
+        rows = self.entries if limit is None else self.entries[-limit:]
+        return "\n".join(str(row) for row in rows)

@@ -1,0 +1,147 @@
+"""Stochastic arrival processes and message-size models.
+
+The paper evaluates capability analytically; the behavioural benchmarks
+additionally sweep offered load, which needs arrival processes.  These are
+the standard ones for interconnect studies: Bernoulli/Poisson per-node
+injection with uniform, hot-spot, or locality-biased destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.core.flits import Message
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStream
+
+#: Destination chooser: (source, rng) -> destination.
+DestinationFn = Callable[[int, RandomStream], int]
+
+
+def uniform_destinations(nodes: int) -> DestinationFn:
+    """Uniform over all nodes except the source."""
+
+    def choose(source: int, rng: RandomStream) -> int:
+        destination = rng.randint(0, nodes - 2)
+        return destination if destination < source else destination + 1
+
+    return choose
+
+
+def hotspot_destinations(nodes: int, hotspot: int,
+                         fraction: float) -> DestinationFn:
+    """With probability ``fraction`` send to ``hotspot``, else uniform."""
+    if not 0 <= hotspot < nodes:
+        raise WorkloadError(f"hotspot {hotspot} outside 0..{nodes - 1}")
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    uniform = uniform_destinations(nodes)
+
+    def choose(source: int, rng: RandomStream) -> int:
+        if source != hotspot and rng.random() < fraction:
+            return hotspot
+        return uniform(source, rng)
+
+    return choose
+
+
+def local_destinations(nodes: int, reach: int) -> DestinationFn:
+    """Uniform over the next ``reach`` clockwise neighbours.
+
+    Ring-friendly locality: the traffic class the RMB's constant-length
+    wires and segment reuse are designed for.
+    """
+    if not 1 <= reach < nodes:
+        raise WorkloadError(f"reach must be in 1..{nodes - 1}, got {reach}")
+
+    def choose(source: int, rng: RandomStream) -> int:
+        return (source + rng.randint(1, reach)) % nodes
+
+    return choose
+
+
+@dataclass
+class ArrivalSchedule:
+    """A concrete list of (time, message) injections, pre-generated so the
+    identical workload can be replayed against different networks."""
+
+    entries: list[tuple[float, Message]]
+
+    def __iter__(self) -> Iterator[tuple[float, Message]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def messages(self) -> list[Message]:
+        return [message for _, message in self.entries]
+
+    def horizon(self) -> float:
+        return self.entries[-1][0] if self.entries else 0.0
+
+
+def bernoulli_schedule(
+    nodes: int,
+    duration: int,
+    injection_rate: float,
+    data_flits: int,
+    rng: RandomStream,
+    destinations: Optional[DestinationFn] = None,
+    start_id: int = 0,
+) -> ArrivalSchedule:
+    """Per-node Bernoulli injection: each tick each node fires a message
+    with probability ``injection_rate`` (messages per node per tick)."""
+    if not 0.0 <= injection_rate <= 1.0:
+        raise WorkloadError(
+            f"injection_rate must be in [0, 1], got {injection_rate}"
+        )
+    choose = destinations if destinations is not None else \
+        uniform_destinations(nodes)
+    entries = []
+    next_id = start_id
+    for tick in range(duration):
+        for node in range(nodes):
+            if rng.random() < injection_rate:
+                destination = choose(node, rng)
+                entries.append((
+                    float(tick),
+                    Message(message_id=next_id, source=node,
+                            destination=destination, data_flits=data_flits,
+                            created_at=float(tick)),
+                ))
+                next_id += 1
+    return ArrivalSchedule(entries)
+
+
+def poisson_schedule(
+    nodes: int,
+    duration: float,
+    rate_per_node: float,
+    data_flits: int,
+    rng: RandomStream,
+    destinations: Optional[DestinationFn] = None,
+    start_id: int = 0,
+) -> ArrivalSchedule:
+    """Per-node Poisson arrivals with exponential inter-arrival times."""
+    if rate_per_node <= 0:
+        raise WorkloadError(f"rate must be positive, got {rate_per_node}")
+    choose = destinations if destinations is not None else \
+        uniform_destinations(nodes)
+    entries = []
+    next_id = start_id
+    for node in range(nodes):
+        node_rng = rng.fork(f"node{node}")
+        time = node_rng.expovariate(rate_per_node)
+        while time < duration:
+            destination = choose(node, node_rng)
+            entries.append((
+                time,
+                Message(message_id=next_id, source=node,
+                        destination=destination, data_flits=data_flits,
+                        created_at=time),
+            ))
+            next_id += 1
+            time += node_rng.expovariate(rate_per_node)
+    entries.sort(key=lambda entry: (entry[0], entry[1].message_id))
+    return ArrivalSchedule(entries)

@@ -1,0 +1,168 @@
+"""Permutation families — the workloads of the paper's Section 3 metric.
+
+The paper's comparison metric is *k-permutation capability*: "an RMB with
+k buses can support any k-permutation, where a k-permutation allows any
+arbitrary k messages to pass through the RMB concurrently."  These
+generators provide the permutations the interconnection-network
+literature of the era evaluates on, plus ring-specific stress cases.
+
+All functions return a list ``perm`` with ``perm[i]`` the destination of
+node ``i``; fixed points (``perm[i] == i``) denote "no message".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStream
+
+
+def _require_power_of_two(nodes: int, name: str) -> int:
+    bits = nodes.bit_length() - 1
+    if nodes <= 0 or 1 << bits != nodes:
+        raise WorkloadError(
+            f"{name} permutation needs a power-of-two node count, got {nodes}"
+        )
+    return bits
+
+
+def identity(nodes: int) -> list[int]:
+    """No communication at all (useful as a base case in tests)."""
+    return list(range(nodes))
+
+
+def random_permutation(nodes: int, rng: RandomStream) -> list[int]:
+    """A uniformly random permutation."""
+    return rng.permutation(nodes)
+
+
+def random_derangement(nodes: int, rng: RandomStream,
+                       max_attempts: int = 1_000) -> list[int]:
+    """A random permutation with no fixed points (every node sends)."""
+    if nodes < 2:
+        raise WorkloadError("derangement needs at least 2 nodes")
+    for _ in range(max_attempts):
+        perm = rng.permutation(nodes)
+        if all(perm[i] != i for i in range(nodes)):
+            return perm
+    raise WorkloadError("failed to sample a derangement")  # pragma: no cover
+
+
+def bit_reversal(nodes: int) -> list[int]:
+    """``i -> reverse of i's bits`` — the classic adversarial pattern."""
+    bits = _require_power_of_two(nodes, "bit-reversal")
+    perm = []
+    for node in range(nodes):
+        reversed_bits = 0
+        for bit in range(bits):
+            if node & (1 << bit):
+                reversed_bits |= 1 << (bits - 1 - bit)
+        perm.append(reversed_bits)
+    return perm
+
+
+def bit_complement(nodes: int) -> list[int]:
+    """``i -> ~i`` — maximal-distance pattern on cubes and meshes."""
+    _require_power_of_two(nodes, "bit-complement")
+    return [nodes - 1 - node for node in range(nodes)]
+
+
+def perfect_shuffle(nodes: int) -> list[int]:
+    """``i -> rotate-left(i)`` — the FFT/sorting-network pattern."""
+    bits = _require_power_of_two(nodes, "perfect-shuffle")
+    perm = []
+    for node in range(nodes):
+        rotated = ((node << 1) | (node >> (bits - 1))) & (nodes - 1)
+        perm.append(rotated)
+    return perm
+
+
+def transpose(nodes: int) -> list[int]:
+    """Matrix transpose: swap high and low halves of the address bits."""
+    bits = _require_power_of_two(nodes, "transpose")
+    if bits % 2 != 0:
+        raise WorkloadError(
+            f"transpose needs an even number of address bits, got {bits}"
+        )
+    half = bits // 2
+    mask = (1 << half) - 1
+    return [((node & mask) << half) | (node >> half) for node in range(nodes)]
+
+
+def butterfly(nodes: int) -> list[int]:
+    """Swap the most and least significant address bits."""
+    bits = _require_power_of_two(nodes, "butterfly")
+    high = 1 << (bits - 1)
+    perm = []
+    for node in range(nodes):
+        top = (node & high) >> (bits - 1)
+        bottom = node & 1
+        swapped = (node & ~(high | 1)) | (bottom << (bits - 1)) | top
+        perm.append(swapped)
+    return perm
+
+
+def ring_shift(nodes: int, distance: int = 1) -> list[int]:
+    """``i -> i + distance (mod N)`` — uniform-span ring traffic.
+
+    ``distance=1`` is the RMB's best case (every message one segment);
+    ``distance = N - 1`` its single-ring worst case.
+    """
+    if distance % nodes == 0:
+        raise WorkloadError(
+            f"ring shift by {distance} on {nodes} nodes is the identity"
+        )
+    return [(node + distance) % nodes for node in range(nodes)]
+
+
+def tornado(nodes: int) -> list[int]:
+    """``i -> i + floor(N/2) - 1`` — the classic ring adversary."""
+    distance = max(1, nodes // 2 - 1)
+    return ring_shift(nodes, distance)
+
+
+def neighbor_exchange(nodes: int) -> list[int]:
+    """Pairwise swap ``2j <-> 2j+1`` — shortest possible messages."""
+    if nodes % 2 != 0:
+        raise WorkloadError("neighbour exchange needs an even node count")
+    perm = []
+    for node in range(nodes):
+        perm.append(node + 1 if node % 2 == 0 else node - 1)
+    return perm
+
+
+#: Named catalogue used by benchmarks and the CLI examples.
+FAMILIES = {
+    "random": random_permutation,
+    "derangement": random_derangement,
+    "bit-reversal": bit_reversal,
+    "bit-complement": bit_complement,
+    "shuffle": perfect_shuffle,
+    "transpose": transpose,
+    "butterfly": butterfly,
+    "ring-shift": ring_shift,
+    "tornado": tornado,
+    "neighbor": neighbor_exchange,
+}
+
+
+def generate(family: str, nodes: int,
+             rng: Optional[RandomStream] = None) -> list[int]:
+    """Generate a named permutation (random families need ``rng``)."""
+    if family not in FAMILIES:
+        raise WorkloadError(
+            f"unknown permutation family {family!r}; "
+            f"choose from {sorted(FAMILIES)}"
+        )
+    generator = FAMILIES[family]
+    if family in ("random", "derangement"):
+        if rng is None:
+            raise WorkloadError(f"{family!r} needs a RandomStream")
+        return generator(nodes, rng)
+    return generator(nodes)
+
+
+def is_permutation(perm: list[int]) -> bool:
+    """True iff ``perm`` is a bijection on ``range(len(perm))``."""
+    return sorted(perm) == list(range(len(perm)))

@@ -1,0 +1,164 @@
+"""Tests for the Section 3.2 cost models (E9-E12)."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost import (
+    COST_MODELS,
+    area_advantage,
+    cost_table,
+    ehc_cost,
+    fattree_cost,
+    gfc_cost,
+    hypercube_cost,
+    mesh_cost,
+    rmb_cost,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRMBFormulas:
+    """E9: links = Nk, cross points = 3Nk, area Theta(Nk)."""
+
+    @pytest.mark.parametrize("n,k", [(16, 2), (64, 8), (256, 16)])
+    def test_exact_formulas(self, n, k):
+        row = rmb_cost(n, k)
+        assert row.links == n * k
+        assert row.cross_points == 3 * n * k
+        assert row.area == n * k
+
+    def test_wire_length_is_constant(self):
+        assert "constant" in rmb_cost(16, 4).wire_length
+
+
+class TestHypercubeFamily:
+    """E10: EHC links = N(logN+1), cross points N(logN+1)^2, area N^2."""
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_ehc_formulas(self, n):
+        row = ehc_cost(n, 4)
+        degree = math.log2(n) + 1
+        assert row.links == pytest.approx(n * degree)
+        assert row.cross_points == pytest.approx(n * degree * degree)
+        assert row.area == n * n
+
+    def test_hypercube_links(self):
+        assert hypercube_cost(64, 4).links == pytest.approx(64 * 6)
+
+    def test_gfc_links_below_paper_bound(self):
+        # Paper: total links less than (N/k) log(N/k).
+        for n, k in [(64, 4), (256, 8), (1024, 16)]:
+            row = gfc_cost(n, k)
+            bound = (n / k) * math.log2(n / k)
+            assert row.links <= bound + 1e-9
+
+    def test_quadratic_area_dominates_rmb(self):
+        for n in (64, 256, 1024):
+            assert ehc_cost(n, 8).area > rmb_cost(n, 8).area
+
+
+class TestFatTree:
+    """E11: links = N log k + N - 2k; area O(Nk), constant >= 12."""
+
+    @pytest.mark.parametrize("n,k", [(16, 4), (64, 8), (256, 16)])
+    def test_link_formula(self, n, k):
+        row = fattree_cost(n, k)
+        assert row.links == pytest.approx(n * math.log2(k) + n - 2 * k)
+
+    def test_area_constant_at_least_twelve(self):
+        row = fattree_cost(64, 8)
+        assert row.area >= 12 * 64 * 8
+
+    def test_cross_points_order_nk_with_constant_above_six(self):
+        for n, k in [(64, 8), (256, 16)]:
+            row = fattree_cost(n, k)
+            assert row.cross_points > 6 * n * k
+
+    def test_fattree_area_exceeds_rmb(self):
+        # "the area for fat-tree is higher than the RMB architecture"
+        for n, k in [(64, 4), (256, 8)]:
+            assert fattree_cost(n, k).area > rmb_cost(n, k).area
+
+
+class TestMesh:
+    """E12: 16N cross points at k=1; k-permutation area O(Nk)."""
+
+    def test_base_mesh(self):
+        row = mesh_cost(64, 1)
+        assert row.links == 2 * 64
+        assert row.cross_points == 16 * 64
+        assert row.area == 64
+
+    def test_scaled_mesh_area_matches_rmb_order(self):
+        # "An RMB with the same area and number of links ... offers very
+        # simple routing" — the areas are the same order.
+        for n, k in [(64, 4), (256, 16)]:
+            assert mesh_cost(n, k).area == rmb_cost(n, k).area
+
+
+class TestTableAndReview:
+    def test_cost_table_covers_all_architectures(self):
+        rows = cost_table(64, 8)
+        assert [row.architecture for row in rows] == list(COST_MODELS)
+
+    def test_cost_table_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            cost_table(64, 8, architectures=("rmb", "banyan"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rmb_cost(1, 1)
+        with pytest.raises(ConfigurationError):
+            rmb_cost(8, 0)
+        with pytest.raises(ConfigurationError):
+            rmb_cost(8, 9)
+
+    def test_area_advantage_review(self):
+        # Paper review: "the RMB offers an advantage over the hypercube and
+        # fat-tree architectures ... It is also comparable to the mesh."
+        advantage = area_advantage(256, 8)
+        assert advantage["rmb"] == 1.0
+        assert advantage["hypercube"] > 1.0
+        assert advantage["ehc"] > 1.0
+        assert advantage["fattree"] > 1.0
+        assert advantage["mesh"] == pytest.approx(1.0)
+
+    def test_as_dict_round_trips(self):
+        row = rmb_cost(16, 2)
+        data = row.as_dict()
+        assert data["architecture"] == "rmb"
+        assert data["links"] == 32
+
+
+class TestWireDelayFactor:
+    """E24 support: longest-wire cycle-time factors."""
+
+    def test_rmb_and_mesh_are_unit(self):
+        from repro.analysis.cost import wire_delay_factor
+
+        assert wire_delay_factor("rmb", 1024) == 1.0
+        assert wire_delay_factor("mesh", 1024) == 1.0
+
+    def test_cube_family_grows_with_sqrt_n(self):
+        from repro.analysis.cost import wire_delay_factor
+
+        assert wire_delay_factor("hypercube", 64) == pytest.approx(4.0)
+        assert wire_delay_factor("hypercube", 256) == pytest.approx(8.0)
+        assert wire_delay_factor("fattree", 256) == pytest.approx(8.0)
+
+    def test_global_bus_spans_machine(self):
+        from repro.analysis.cost import wire_delay_factor
+
+        assert wire_delay_factor("multibus", 128) == 128.0
+
+    def test_factor_never_below_one(self):
+        from repro.analysis.cost import wire_delay_factor
+
+        assert wire_delay_factor("hypercube", 2) >= 1.0
+
+    def test_unknown_architecture_rejected(self):
+        from repro.analysis.cost import wire_delay_factor
+
+        with pytest.raises(ConfigurationError):
+            wire_delay_factor("banyan", 64)

@@ -1,0 +1,101 @@
+"""Tests for the offline scheduler and competitiveness (E16)."""
+
+import pytest
+
+from repro.analysis.competitive import measure_competitiveness
+from repro.analysis.offline import (
+    greedy_schedule,
+    lower_bound,
+    service_time,
+    verify_schedule,
+)
+from repro.core import Message, RMBConfig
+from repro.errors import WorkloadError
+from repro.sim import RandomStream
+from repro.traffic import permutation_messages, random_derangement
+
+
+def msg(mid, src, dst, flits=4):
+    return Message(mid, src, dst, data_flits=flits)
+
+
+def test_service_time_includes_drain():
+    message = msg(0, 0, 3, flits=4)
+    assert service_time(message, 8) == 6 + 3 + 1
+
+
+def test_lower_bound_single_message_is_its_service_time():
+    message = msg(0, 0, 3, flits=4)
+    assert lower_bound([message], 8, 2) == service_time(message, 8)
+
+
+def test_lower_bound_segment_contention():
+    # Four messages all crossing segment 0 with one lane: the bound is the
+    # serial sum of their durations.
+    messages = [msg(i, 0, 1, flits=4) for i in range(1)]
+    messages += [msg(i + 1, 7, 1, flits=4) for i in range(3)]
+    bound = lower_bound(messages, 8, 1)
+    total = sum(service_time(m, 8) for m in messages)
+    # All four cross segments 7 or 0; segment 0 carries all of them.
+    assert bound >= total / 1 * 0.9
+
+
+def test_lower_bound_node_contention():
+    # One receiver, many senders: bound is the receiver's serial demand.
+    messages = [msg(i, i, 5, flits=4) for i in range(3)]
+    bound = lower_bound(messages, 8, 4)
+    assert bound == pytest.approx(
+        sum(service_time(m, 8) for m in messages)
+    )
+
+
+def test_lower_bound_validates_lanes():
+    with pytest.raises(WorkloadError):
+        lower_bound([], 8, 0)
+
+
+def test_greedy_schedule_is_feasible_and_verifies():
+    rng = RandomStream(8)
+    messages = permutation_messages(random_derangement(12, rng), 6)
+    schedule = greedy_schedule(messages, 12, 2)
+    verify_schedule(schedule)
+    assert schedule.makespan >= lower_bound(messages, 12, 2)
+
+
+def test_greedy_schedule_single_lane_serialises_overlaps():
+    messages = [msg(0, 0, 4), msg(1, 2, 6)]  # overlap on segments 2,3
+    schedule = greedy_schedule(messages, 8, 1)
+    verify_schedule(schedule)
+    starts = sorted(entry.start for entry in schedule.entries)
+    assert starts[1] >= service_time(messages[0], 8)
+
+
+def test_greedy_schedule_disjoint_arcs_run_concurrently():
+    messages = [msg(0, 0, 2), msg(1, 4, 6)]
+    schedule = greedy_schedule(messages, 8, 1)
+    assert all(entry.start == 0.0 for entry in schedule.entries)
+
+
+def test_verify_schedule_catches_overload():
+    messages = [msg(0, 0, 4), msg(1, 1, 5)]
+    schedule = greedy_schedule(messages, 8, 2)
+    # Forge an infeasible schedule by dropping to one lane.
+    schedule.lanes = 1
+    schedule.entries = [
+        type(entry)(entry.message, 0.0, 8) for entry in schedule.entries
+    ]
+    with pytest.raises(WorkloadError):
+        verify_schedule(schedule)
+
+
+def test_competitiveness_report_brackets():
+    rng = RandomStream(9)
+    messages = permutation_messages(random_derangement(8, rng), 8)
+    report = measure_competitiveness(
+        RMBConfig(nodes=8, lanes=2, cycle_period=2.0), messages
+    )
+    assert report.online_makespan >= report.offline_lower_bound
+    assert report.offline_greedy_makespan >= report.offline_lower_bound
+    assert report.ratio_vs_lower >= report.ratio_vs_greedy >= 1.0
+    data = report.as_dict()
+    assert data["messages"] == len(messages)

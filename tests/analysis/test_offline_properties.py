@@ -1,0 +1,80 @@
+"""Property-based tests for the offline scheduler (E16 machinery)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.offline import (
+    greedy_schedule,
+    lower_bound,
+    service_time,
+    verify_schedule,
+)
+from repro.core import Message
+
+
+@st.composite
+def message_batches(draw):
+    nodes = draw(st.sampled_from([8, 12, 16]))
+    lanes = draw(st.integers(min_value=1, max_value=4))
+    count = draw(st.integers(min_value=1, max_value=14))
+    messages = []
+    for index in range(count):
+        source = draw(st.integers(min_value=0, max_value=nodes - 1))
+        offset = draw(st.integers(min_value=1, max_value=nodes - 1))
+        flits = draw(st.integers(min_value=0, max_value=24))
+        messages.append(Message(index, source, (source + offset) % nodes,
+                                data_flits=flits))
+    return nodes, lanes, messages
+
+
+@settings(max_examples=50, deadline=None)
+@given(message_batches())
+def test_greedy_schedule_always_feasible(batch):
+    nodes, lanes, messages = batch
+    schedule = greedy_schedule(messages, nodes, lanes)
+    verify_schedule(schedule)  # raises on any segment overload
+    assert len(schedule.entries) == len(messages)
+
+
+@settings(max_examples=50, deadline=None)
+@given(message_batches())
+def test_greedy_never_beats_the_lower_bound(batch):
+    nodes, lanes, messages = batch
+    bound = lower_bound(messages, nodes, lanes)
+    schedule = greedy_schedule(messages, nodes, lanes)
+    assert schedule.makespan >= bound - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(message_batches())
+def test_endpoints_never_overlap_in_greedy(batch):
+    nodes, lanes, messages = batch
+    schedule = greedy_schedule(messages, nodes, lanes)
+    by_tx: dict[int, list] = {}
+    by_rx: dict[int, list] = {}
+    for entry in schedule.entries:
+        by_tx.setdefault(entry.message.source, []).append(
+            (entry.start, entry.finish))
+        by_rx.setdefault(entry.message.destination, []).append(
+            (entry.start, entry.finish))
+    for intervals in list(by_tx.values()) + list(by_rx.values()):
+        intervals.sort()
+        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            assert f1 <= s2 + 1e-9, "endpoint used by two transfers at once"
+
+
+@settings(max_examples=30, deadline=None)
+@given(message_batches())
+def test_more_lanes_never_hurt(batch):
+    nodes, lanes, messages = batch
+    narrow = greedy_schedule(messages, nodes, lanes)
+    wide = greedy_schedule(messages, nodes, lanes + 2)
+    assert wide.makespan <= narrow.makespan + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(message_batches())
+def test_lower_bound_at_least_longest_message(batch):
+    nodes, lanes, messages = batch
+    bound = lower_bound(messages, nodes, lanes)
+    longest = max(service_time(m, nodes) for m in messages)
+    assert bound >= longest

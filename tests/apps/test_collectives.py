@@ -1,0 +1,86 @@
+"""Tests for the collective-communication drivers."""
+
+import pytest
+
+from repro.apps import CollectiveDriver, STANDARD_COLLECTIVES
+from repro.core import RMBConfig
+from repro.errors import WorkloadError
+
+
+@pytest.fixture
+def driver():
+    return CollectiveDriver(RMBConfig(nodes=8, lanes=3, cycle_period=2.0),
+                            seed=2)
+
+
+class TestRingShift:
+    def test_all_nodes_send_once(self, driver):
+        result = driver.ring_shift_round(1, data_flits=32)
+        assert result.messages == 8
+        assert result.rounds == 1
+        assert result.total_ticks > 0
+
+    def test_distance_one_is_fastest(self, driver):
+        near = driver.ring_shift_round(1, data_flits=32)
+        far = driver.ring_shift_round(5, data_flits=32)
+        assert near.total_ticks < far.total_ticks
+
+    def test_identity_shift_rejected(self, driver):
+        with pytest.raises(WorkloadError):
+            driver.ring_shift_round(8, data_flits=4)
+
+
+class TestAllreduce:
+    def test_round_count(self, driver):
+        result = driver.ring_allreduce(chunk_flits=8)
+        assert result.rounds == 2 * 7
+        assert len(result.round_ticks) == result.rounds
+        assert result.messages == 8 * result.rounds
+
+    def test_rounds_are_uniform(self, driver):
+        # All rounds are the same unit-shift permutation, so round times
+        # must be identical once the first round has warmed nothing up
+        # (state never leaks between rounds: each drains fully).
+        result = driver.ring_allreduce(chunk_flits=8)
+        assert len(set(result.round_ticks[1:])) == 1
+
+
+class TestAllToAll:
+    def test_round_structure(self, driver):
+        result = driver.all_to_all(chunk_flits=4)
+        assert result.rounds == 7
+        assert result.messages == 8 * 7
+
+    def test_middle_rounds_slowest(self, driver):
+        # Round r is a shift-by-r permutation with segment load r; time
+        # per round must peak around the longest shifts.
+        result = driver.all_to_all(chunk_flits=4)
+        assert max(result.round_ticks) == result.round_ticks[-1] or \
+            max(result.round_ticks) >= result.round_ticks[0]
+
+
+class TestBroadcastAndBarrier:
+    def test_broadcast_uses_single_message(self, driver):
+        result = driver.broadcast(root=0, data_flits=16)
+        assert result.messages == 1
+        assert result.total_ticks > 0
+
+    def test_broadcast_faster_than_serial_allreduce_round(self, driver):
+        broadcast = driver.broadcast(root=0, data_flits=16)
+        # A broadcast of B flits costs ~one span-(N-1) circuit; far less
+        # than N-1 serial unicasts of the same payload.
+        serial_estimate = (16 + 2) * 7
+        assert broadcast.total_ticks < serial_estimate * 2
+
+    def test_barrier_token_goes_all_the_way_round(self, driver):
+        result = driver.barrier()
+        assert result.rounds == 8
+        assert result.messages == 8
+
+
+def test_standard_catalogue_runs():
+    driver = CollectiveDriver(RMBConfig(nodes=8, lanes=3, cycle_period=2.0))
+    for name, run in STANDARD_COLLECTIVES.items():
+        result = run(driver)
+        assert result.total_ticks > 0, name
+        assert result.as_dict()["collective"] == result.name

@@ -1,0 +1,48 @@
+"""Tests for the halo-exchange stencil driver."""
+
+import pytest
+
+from repro.apps import run_stencil
+from repro.errors import WorkloadError
+
+
+def test_single_iteration_completes():
+    result = run_stencil(rows=4, cols=4, lanes=2, iterations=1,
+                         halo_flits=4)
+    assert len(result.iteration_ticks) == 1
+    assert result.total_ticks > 0
+    # 16 nodes x 4 neighbours, split evenly by direction.
+    assert result.forward_latency.count == 32
+    assert result.backward_latency.count == 32
+
+
+def test_unidirectional_asymmetry():
+    # On clockwise-only rings the backward halo costs nearly a full ring
+    # transit: the measured asymmetry must be substantially above 1.
+    result = run_stencil(rows=4, cols=4, lanes=2, iterations=1,
+                         halo_flits=4)
+    assert result.asymmetry() > 1.5
+    assert result.backward_latency.mean > result.forward_latency.mean
+
+
+def test_iterations_accumulate():
+    result = run_stencil(rows=4, cols=4, lanes=2, iterations=3,
+                         halo_flits=2)
+    assert len(result.iteration_ticks) == 3
+    assert result.mean_iteration == pytest.approx(
+        result.total_ticks / 3)
+
+
+def test_as_dict_fields():
+    result = run_stencil(rows=4, cols=4, lanes=2, iterations=1,
+                         halo_flits=2)
+    data = result.as_dict()
+    assert data["grid"] == "4x4"
+    assert data["direction_asymmetry"] > 1
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        run_stencil(4, 4, 2, iterations=0, halo_flits=1)
+    with pytest.raises(WorkloadError):
+        run_stencil(4, 4, 2, iterations=1, halo_flits=-1)

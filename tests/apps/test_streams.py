@@ -1,0 +1,88 @@
+"""Tests for real-time stream sessions."""
+
+import pytest
+
+from repro.apps import StreamDriver, StreamSession, evenly_spread_sessions
+from repro.core import RMBConfig
+from repro.errors import WorkloadError
+
+
+def session(sid=0, src=0, dst=4, period=32.0, flits=8, deadline=64.0,
+            frames=10, start=0.0):
+    return StreamSession(session_id=sid, source=src, destination=dst,
+                         period=period, frame_flits=flits,
+                         deadline=deadline, frames=frames, start=start)
+
+
+class TestSessionValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"period": 0}, {"deadline": -1}, {"frames": 0},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(WorkloadError):
+            session(**kwargs)
+
+
+class TestSingleSession:
+    def test_light_stream_meets_every_deadline(self):
+        driver = StreamDriver(RMBConfig(nodes=8, lanes=3, cycle_period=2.0))
+        reports = driver.run([session()])
+        report = reports[0]
+        assert report.delivered == 10
+        assert report.missed == 0
+        assert report.miss_rate == 0.0
+        assert report.worst_latency <= 64.0
+
+    def test_impossible_deadline_misses_everything(self):
+        driver = StreamDriver(RMBConfig(nodes=8, lanes=3, cycle_period=2.0))
+        reports = driver.run([session(deadline=1.0)])
+        assert reports[0].miss_rate == 1.0
+
+    def test_latency_statistics_populated(self):
+        driver = StreamDriver(RMBConfig(nodes=8, lanes=3, cycle_period=2.0))
+        reports = driver.run([session()])
+        report = reports[0]
+        assert report.latency.count == 10
+        assert report.latency.mean > 0
+        assert report.jitter() >= 0
+        data = report.as_dict()
+        assert data["route"] == "0->4"
+
+
+class TestContention:
+    def test_competing_streams_raise_miss_rate(self):
+        config = RMBConfig(nodes=8, lanes=1, cycle_period=2.0)
+        light = StreamDriver(config).run(
+            evenly_spread_sessions(8, count=2, span=4, period=64.0,
+                                   frame_flits=8, deadline=40.0, frames=8))
+        heavy = StreamDriver(config).run(
+            evenly_spread_sessions(8, count=8, span=4, period=24.0,
+                                   frame_flits=16, deadline=40.0, frames=8))
+        light_miss = sum(report.missed for report in light)
+        heavy_miss = sum(report.missed for report in heavy)
+        assert heavy_miss > light_miss
+
+    def test_all_frames_accounted_for(self):
+        config = RMBConfig(nodes=8, lanes=2, cycle_period=2.0)
+        sessions = evenly_spread_sessions(8, count=4, span=3, period=48.0,
+                                          frame_flits=8, deadline=100.0,
+                                          frames=6)
+        reports = StreamDriver(config).run(sessions)
+        for report in reports:
+            assert report.delivered + report.missed == 6
+
+
+class TestSpreadHelper:
+    def test_sources_distinct_and_staggered(self):
+        sessions = evenly_spread_sessions(16, count=4, span=5, period=32.0,
+                                          frame_flits=4, deadline=64.0,
+                                          frames=3)
+        sources = [s.source for s in sessions]
+        assert len(set(sources)) == 4
+        starts = [s.start for s in sessions]
+        assert len(set(starts)) == 4
+
+    def test_count_validation(self):
+        with pytest.raises(WorkloadError):
+            evenly_spread_sessions(8, count=9, span=1, period=1.0,
+                                   frame_flits=1, deadline=1.0, frames=1)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RMBConfig, RMBRing
+from repro.sim import RandomStream, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RandomStream:
+    """A deterministic random stream."""
+    return RandomStream(12345, name="test")
+
+
+@pytest.fixture
+def small_config() -> RMBConfig:
+    """An 8-node, 3-lane synchronous ring configuration."""
+    return RMBConfig(nodes=8, lanes=3)
+
+
+@pytest.fixture
+def small_ring(small_config: RMBConfig) -> RMBRing:
+    """A small ring with invariants armed and probes on."""
+    return RMBRing(small_config, seed=1, probe_period=4.0)
+
+
+def make_ring(nodes: int = 8, lanes: int = 3, **overrides) -> RMBRing:
+    """Helper for tests needing custom geometry."""
+    config = RMBConfig(nodes=nodes, lanes=lanes, **overrides)
+    return RMBRing(config, seed=1)

@@ -1,0 +1,75 @@
+"""Unit tests for RMB configuration validation."""
+
+import pytest
+
+from repro.core.config import RMBConfig, TwoRingConfig
+from repro.errors import ConfigurationError
+
+
+def test_valid_config():
+    config = RMBConfig(nodes=8, lanes=3)
+    assert config.top_lane == 2
+
+
+def test_odd_node_count_rejected():
+    # The odd/even INC marking is inconsistent on an odd ring.
+    with pytest.raises(ConfigurationError):
+        RMBConfig(nodes=9, lanes=2)
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ConfigurationError):
+        RMBConfig(nodes=2, lanes=2)
+
+
+def test_zero_lanes_rejected():
+    with pytest.raises(ConfigurationError):
+        RMBConfig(nodes=8, lanes=0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("flit_period", 0),
+    ("cycle_period", -1),
+    ("retry_delay", 0),
+    ("retry_backoff", 0.5),
+    ("max_retries", -1),
+    ("clock_drift", 0.7),
+    ("clock_jitter_fraction", -0.1),
+    ("header_timeout", 0),
+    ("retry_jitter", -1),
+])
+def test_invalid_fields_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        RMBConfig(nodes=8, lanes=2, **{field: value})
+
+
+def test_header_timeout_none_allowed():
+    config = RMBConfig(nodes=8, lanes=2, header_timeout=None)
+    assert config.header_timeout is None
+
+
+def test_with_overrides_revalidates():
+    config = RMBConfig(nodes=8, lanes=2)
+    bigger = config.with_overrides(lanes=5)
+    assert bigger.lanes == 5
+    assert config.lanes == 2  # original untouched (frozen)
+    with pytest.raises(ConfigurationError):
+        config.with_overrides(nodes=7)
+
+
+def test_config_is_frozen():
+    config = RMBConfig(nodes=8, lanes=2)
+    with pytest.raises(Exception):
+        config.lanes = 9  # type: ignore[misc]
+
+
+def test_two_ring_config_splits_lanes():
+    two = TwoRingConfig(nodes=8, lanes_clockwise=3, lanes_counterclockwise=2)
+    assert two.ring_config(clockwise=True).lanes == 3
+    assert two.ring_config(clockwise=False).lanes == 2
+    assert two.ring_config(clockwise=True).nodes == 8
+
+
+def test_two_ring_config_rejects_zero_lanes():
+    with pytest.raises(ConfigurationError):
+        TwoRingConfig(nodes=8, lanes_clockwise=0, lanes_counterclockwise=2)

@@ -1,0 +1,136 @@
+"""Unit tests for the odd/even cycle handshake (rules 1-5, Lemma 1)."""
+
+import pytest
+
+from repro.core.cycles import (
+    CycleController,
+    GlobalCycleDriver,
+    HandshakePhase,
+    max_neighbour_skew,
+    wire_ring,
+)
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, skewed_domains
+from repro.sim.clock import ClockDomain
+from repro.sim.rng import RandomStream
+
+
+def build_ring(count, work=None):
+    work = work if work is not None else (lambda index, cycle: None)
+    controllers = [CycleController(i, work) for i in range(count)]
+    wire_ring(controllers)
+    return controllers
+
+
+def drive_round_robin(controllers, steps):
+    """Deliver edges one controller at a time (maximal determinism)."""
+    for step in range(steps):
+        controllers[step % len(controllers)].on_edge(step)
+
+
+def test_reset_state_is_rule_one():
+    controllers = build_ring(4)
+    for controller in controllers:
+        assert controller.od is False
+        assert controller.oc is False
+        assert controller.cycle == 0
+        assert controller.phase is HandshakePhase.WORK
+
+
+def test_unwired_controller_rejects_edges():
+    controller = CycleController(0, lambda i, c: None)
+    with pytest.raises(ConfigurationError):
+        controller.on_edge(0)
+
+
+def test_wire_ring_requires_two():
+    with pytest.raises(ConfigurationError):
+        wire_ring([CycleController(0, lambda i, c: None)])
+
+
+def test_lockstep_progression():
+    controllers = build_ring(4)
+    drive_round_robin(controllers, 400)
+    cycles = [controller.cycle for controller in controllers]
+    assert min(cycles) > 5, f"handshake stalled: {cycles}"
+    assert max_neighbour_skew(controllers) <= 1
+
+
+def test_work_runs_once_per_cycle_with_cycle_number():
+    calls = []
+    controllers = build_ring(4, work=lambda i, c: calls.append((i, c)))
+    drive_round_robin(controllers, 400)
+    for index in range(4):
+        mine = [cycle for (i, cycle) in calls if i == index]
+        # Each INC worked cycles 0, 1, 2, ... in order, no skips or repeats.
+        assert mine == list(range(len(mine)))
+        assert len(mine) >= 5
+
+
+def test_lemma1_holds_at_every_step():
+    controllers = build_ring(6)
+    for step in range(2000):
+        controllers[step % 6].on_edge(step)
+        assert max_neighbour_skew(controllers) <= 1
+
+
+def test_lemma1_with_adversarial_edge_order():
+    # One fast controller receiving many more edges than the others.
+    controllers = build_ring(4)
+    rng = RandomStream(5)
+    for step in range(3000):
+        index = 0 if rng.random() < 0.7 else rng.randint(1, 3)
+        controllers[index].on_edge(step)
+        assert max_neighbour_skew(controllers) <= 1
+    # The fast controller cannot run ahead: the handshake throttles it.
+    assert controllers[0].cycle <= min(c.cycle for c in controllers) + 1
+
+
+def test_lemma1_on_skewed_clock_domains():
+    sim = Simulator()
+    controllers = build_ring(8)
+    rng = RandomStream(42)
+    domains = skewed_domains(sim, 8, period=4.0, rng=rng,
+                             max_drift=0.05, max_jitter_fraction=0.1)
+    for controller, domain in zip(controllers, domains):
+        controller.attach_clock(domain)
+        domain.start()
+    for _ in range(50):
+        sim.run_ticks(20)
+        assert max_neighbour_skew(controllers) <= 1
+    assert min(controller.cycle for controller in controllers) > 10
+
+
+def test_parity_alternates():
+    controllers = build_ring(4)
+    seen = []
+    controllers[0]._work = lambda i, c: seen.append(c % 2)  # type: ignore
+    drive_round_robin(controllers, 600)
+    # Strict alternation of odd and even cycles.
+    assert all(a != b for a, b in zip(seen, seen[1:]))
+
+
+def test_stalled_neighbour_blocks_progress():
+    # If one controller never receives clock edges, the others cannot get
+    # more than one cycle ahead of it (the rules stop them).
+    controllers = build_ring(4)
+    for step in range(2000):
+        controllers[step % 3].on_edge(step)  # controller 3 never ticks
+    assert max(controller.cycle for controller in controllers) <= 1
+
+
+def test_transitions_counter_matches_cycles():
+    controllers = build_ring(4)
+    drive_round_robin(controllers, 400)
+    for controller in controllers:
+        assert controller.transitions == controller.cycle
+
+
+def test_global_driver_counts_and_calls():
+    calls = []
+    driver = GlobalCycleDriver(lambda cycle: calls.append(cycle))
+    for _ in range(5):
+        driver.tick()
+    assert calls == [0, 1, 2, 3, 4]
+    assert driver.cycle == 5
+    assert driver.parity() == 1

@@ -1,0 +1,139 @@
+"""Register-level INC array tests (hardware view of Figures 4/6/7)."""
+
+import pytest
+
+from repro.core.inc import INCArray, PE_DRIVE, replay_hops
+from repro.errors import ProtocolError
+
+
+def test_fresh_array_all_zero():
+    array = INCArray(8, 3)
+    assert all(port.code == 0b000 for port in array.iter_ports())
+    array.check_all()
+
+
+def test_claim_sets_register():
+    array = INCArray(8, 3)
+    array.claim(0, 2, bus_id=1, upstream=PE_DRIVE)
+    assert array.port(0, 2).code == 0b010  # PE drives straight
+    array.claim(1, 2, bus_id=1, upstream=2)
+    assert array.port(1, 2).code == 0b010
+    array.claim(2, 1, bus_id=1, upstream=2)
+    assert array.port(2, 1).code == 0b100  # from above
+
+
+def test_double_claim_rejected():
+    array = INCArray(8, 3)
+    array.claim(0, 2, bus_id=1, upstream=PE_DRIVE)
+    with pytest.raises(ProtocolError):
+        array.claim(0, 2, bus_id=2, upstream=PE_DRIVE)
+
+
+def test_release_resets_register():
+    array = INCArray(8, 3)
+    array.claim(0, 2, bus_id=1, upstream=PE_DRIVE)
+    array.release(0, 2, bus_id=1)
+    assert array.port(0, 2).code == 0b000
+
+
+def test_release_wrong_owner_rejected():
+    array = INCArray(8, 3)
+    array.claim(0, 2, bus_id=1, upstream=PE_DRIVE)
+    with pytest.raises(ProtocolError):
+        array.release(0, 2, bus_id=9)
+
+
+def test_move_down_micro_phases_legal():
+    array = INCArray(8, 3)
+    replay_hops(array, bus_id=1, source_inc=0, hops=[2, 2, 2])
+    # Move the middle hop down: enters at 2, so 'from above' afterwards.
+    array.move_down(1, 2, bus_id=1, upstream=2)
+    assert array.port(1, 1).code == 0b100
+    assert array.port(1, 2).code == 0b000
+    assert array.make_windows == 1
+    assert array.micro_steps > 3
+
+
+def test_move_down_requires_free_target():
+    array = INCArray(8, 3)
+    array.claim(0, 2, bus_id=1, upstream=PE_DRIVE)
+    array.claim(0, 1, bus_id=2, upstream=PE_DRIVE)
+    with pytest.raises(ProtocolError):
+        array.move_down(0, 2, bus_id=1, upstream=PE_DRIVE)
+
+
+def test_move_below_lane_zero_rejected():
+    array = INCArray(8, 3)
+    array.claim(0, 0, bus_id=1, upstream=PE_DRIVE)
+    with pytest.raises(ProtocolError):
+        array.move_down(0, 0, bus_id=1, upstream=PE_DRIVE)
+
+
+def test_rewire_input_transient_is_legal_superposition():
+    array = INCArray(8, 3)
+    # Hop enters INC 1 on lane 2 and leaves on lane 2 (straight).
+    array.claim(1, 2, bus_id=1, upstream=2)
+    # Upstream hop moved 2 -> 1: this port is re-driven from below.
+    array.rewire_input(1, 2, bus_id=1, old_source=2, new_source=1)
+    assert array.port(1, 2).code == 0b001
+
+
+def test_rewire_requires_current_source():
+    array = INCArray(8, 3)
+    array.claim(1, 2, bus_id=1, upstream=2)
+    with pytest.raises(ProtocolError):
+        array.rewire_input(1, 2, bus_id=1, old_source=3, new_source=1)
+
+
+def test_illegal_superposition_detected():
+    array = INCArray(8, 3)
+    port = array.port(0, 1)
+    port.bus_id = 1
+    port.sources = {0, 2}  # above + below: code 101, Table 1 forbids
+    with pytest.raises(ProtocolError):
+        array.check_all(in_make_window=True)
+
+
+def test_double_drive_outside_window_detected():
+    array = INCArray(8, 3)
+    port = array.port(0, 1)
+    port.bus_id = 1
+    port.sources = {1, 2}  # legal 110 code, but no make window open
+    with pytest.raises(ProtocolError):
+        array.check_all(in_make_window=False)
+
+
+def test_bus_connected_end_to_end():
+    array = INCArray(8, 3)
+    replay_hops(array, bus_id=1, source_inc=2, hops=[2, 1, 1])
+    assert array.bus_connected(1, source_inc=2, hops=[2, 1, 1])
+    array.release(3, 1, bus_id=1)
+    assert not array.bus_connected(1, source_inc=2, hops=[2, 1, 1])
+
+
+def test_full_move_sequence_keeps_bus_connected():
+    # Replay Figure 5 on the register level: straight bus drops one lane
+    # via alternating moves, connectivity checked at every micro-step.
+    array = INCArray(8, 4)
+    hops = [3, 3, 3, 3]
+    replay_hops(array, bus_id=1, source_inc=0, hops=hops)
+    # Cycle 1: move even-position segments (0 and 2).
+    for segment in (0, 2):
+        upstream = PE_DRIVE if segment == 0 else hops[segment - 1]
+        array.move_down(segment, 3, bus_id=1, upstream=upstream)
+        hops[segment] = 2
+        # The downstream consuming port re-wires its input.
+        if segment + 1 < len(hops):
+            array.rewire_input(segment + 1, hops[segment + 1], bus_id=1,
+                               old_source=3, new_source=2)
+        assert array.bus_connected(1, 0, hops)
+    # Cycle 2: move the remaining segments (1 and 3).
+    for segment in (1, 3):
+        array.move_down(segment, 3, bus_id=1, upstream=hops[segment - 1])
+        hops[segment] = 2
+        if segment + 1 < len(hops):
+            array.rewire_input(segment + 1, hops[segment + 1], bus_id=1,
+                               old_source=3, new_source=2)
+        assert array.bus_connected(1, 0, hops)
+    assert hops == [2, 2, 2, 2]
+    assert array.make_windows == 4

@@ -1,0 +1,110 @@
+"""Unit tests for the invariant monitors."""
+
+import pytest
+
+from repro.core.cycles import CycleController, wire_ring
+from repro.core.flits import Message, MessageRecord
+from repro.core.invariants import (
+    InvariantMonitor,
+    LaneMonotonicity,
+    check_bus_shapes,
+    check_grid_bus_agreement,
+    check_lemma1,
+)
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import VirtualBus
+from repro.errors import InvariantViolation
+
+
+def build_state(hops=(2, 2), source=0, ring=8, lanes=3):
+    grid = SegmentGrid(ring, lanes)
+    message = Message(0, source, (source + len(hops)) % ring, data_flits=1)
+    bus = VirtualBus(0, message, MessageRecord(message), ring)
+    for offset, lane in enumerate(hops):
+        grid.claim((source + offset) % ring, lane, 0)
+        bus.hops.append(lane)
+    return grid, {0: bus}
+
+
+def test_agreement_accepts_consistent_state():
+    grid, buses = build_state()
+    check_grid_bus_agreement(grid, buses)
+
+
+def test_agreement_detects_orphan_grid_claim():
+    grid, buses = build_state()
+    grid.claim(5, 0, 0)  # grid segment with no corresponding hop
+    with pytest.raises(InvariantViolation):
+        check_grid_bus_agreement(grid, buses)
+
+
+def test_agreement_detects_unknown_bus():
+    grid, buses = build_state()
+    grid.claim(5, 0, 99)
+    with pytest.raises(InvariantViolation):
+        check_grid_bus_agreement(grid, buses)
+
+
+def test_agreement_detects_hop_without_claim():
+    grid, buses = build_state()
+    grid.release(1, 2, 0)  # bus still lists the hop
+    with pytest.raises(InvariantViolation):
+        check_grid_bus_agreement(grid, buses)
+
+
+def test_shape_check_delegates_to_bus():
+    grid, buses = build_state(hops=(2, 2))
+    check_bus_shapes(buses, lanes=3)
+    buses[0].hops[1] = 0  # +/-2 jump
+    with pytest.raises(InvariantViolation):
+        check_bus_shapes(buses, lanes=3)
+
+
+def test_monotonicity_accepts_downward_motion():
+    grid, buses = build_state(hops=(2, 2))
+    monitor = LaneMonotonicity()
+    monitor.observe(buses)
+    buses[0].hops[0] = 1
+    monitor.observe(buses)
+
+
+def test_monotonicity_rejects_upward_motion():
+    grid, buses = build_state(hops=(1, 1))
+    monitor = LaneMonotonicity()
+    monitor.observe(buses)
+    buses[0].hops[0] = 2
+    with pytest.raises(InvariantViolation):
+        monitor.observe(buses)
+
+
+def test_monotonicity_forgets_released_hops():
+    grid, buses = build_state(hops=(1, 1))
+    monitor = LaneMonotonicity()
+    monitor.observe(buses)
+    buses[0].released_from = 0  # everything released
+    monitor.observe(buses)
+    assert monitor._last == {}
+
+
+def test_lemma1_check():
+    controllers = [CycleController(i, lambda a, b: None) for i in range(4)]
+    wire_ring(controllers)
+    check_lemma1(controllers)
+    controllers[0].cycle = 5
+    controllers[1].cycle = 4
+    controllers[2].cycle = 4
+    controllers[3].cycle = 4
+    check_lemma1(controllers)
+    controllers[0].cycle = 6
+    with pytest.raises(InvariantViolation):
+        check_lemma1(controllers)
+
+
+def test_monitor_bundle_runs_all_checks():
+    grid, buses = build_state()
+    monitor = InvariantMonitor(grid, buses)
+    monitor.check()
+    assert monitor.checks_run == 1
+    buses[0].hops[1] = 0
+    with pytest.raises(InvariantViolation):
+        monitor.check()

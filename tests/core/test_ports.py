@@ -1,0 +1,106 @@
+"""Unit tests for derived INC port views (Table 1 projection)."""
+
+import pytest
+
+from repro.core.flits import Message, MessageRecord
+from repro.core.ports import PE_SOURCE, all_ports, inc_ports, port_view, validate_ports
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import VirtualBus
+from repro.errors import ProtocolError
+
+
+def setup_bus(lanes_by_hop, source=0, ring=8, grid_lanes=4):
+    grid = SegmentGrid(ring, grid_lanes)
+    destination = (source + len(lanes_by_hop)) % ring
+    message = Message(0, source, destination, data_flits=2)
+    bus = VirtualBus(3, message, MessageRecord(message), ring)
+    for offset, lane in enumerate(lanes_by_hop):
+        grid.claim((source + offset) % ring, lane, 3)
+        bus.hops.append(lane)
+    return grid, {3: bus}
+
+
+def test_unused_port_reads_zero():
+    grid, buses = setup_bus([2])
+    view = port_view(grid, buses, inc=5, lane=1)
+    assert view.code == 0b000
+    assert view.bus_id is None
+    assert view.meaning == "Bus is unused"
+
+
+def test_source_port_is_pe_driven_straight():
+    grid, buses = setup_bus([2], source=0)
+    view = port_view(grid, buses, inc=0, lane=2)
+    assert view.bus_id == 3
+    assert view.input_lane == PE_SOURCE
+    assert view.code == 0b010
+
+
+def test_straight_connection_reads_010():
+    grid, buses = setup_bus([2, 2])
+    view = port_view(grid, buses, inc=1, lane=2)
+    assert view.code == 0b010
+    assert view.input_lane == 2
+
+
+def test_downward_step_reads_from_above():
+    # Bus enters INC 1 on lane 2 and leaves on lane 1: output port 1
+    # receives "from above".
+    grid, buses = setup_bus([2, 1])
+    view = port_view(grid, buses, inc=1, lane=1)
+    assert view.code == 0b100
+    assert view.meaning == "Port receives from above"
+
+
+def test_upward_step_reads_from_below():
+    grid, buses = setup_bus([1, 2])
+    view = port_view(grid, buses, inc=1, lane=2)
+    assert view.code == 0b001
+    assert view.meaning == "Port receives from below"
+
+
+def test_inc_ports_covers_every_lane():
+    grid, buses = setup_bus([2, 2])
+    views = inc_ports(grid, buses, 1)
+    assert [view.lane for view in views] == [0, 1, 2, 3]
+
+
+def test_all_ports_size():
+    grid, buses = setup_bus([2])
+    assert len(all_ports(grid, buses)) == 8 * 4
+
+
+def test_validate_ports_accepts_legal_state():
+    grid, buses = setup_bus([2, 1, 1, 2])
+    validate_ports(grid, buses)
+
+
+def test_validate_ports_rejects_grid_bus_mismatch():
+    grid, buses = setup_bus([2, 2])
+    # Corrupt: grid says the bus holds a segment its hop list disagrees on.
+    buses[3].hops[1] = 1
+    with pytest.raises(ProtocolError):
+        validate_ports(grid, buses)
+
+
+def test_validate_ports_rejects_double_driven_input():
+    # Two buses entering INC 1 on... construct an impossible state where
+    # one input lane feeds two outputs (outside make-before-break).
+    grid = SegmentGrid(8, 4)
+    message_a = Message(0, 0, 2, data_flits=1)
+    bus_a = VirtualBus(1, message_a, MessageRecord(message_a), 8)
+    grid.claim(0, 2, 1)
+    grid.claim(1, 2, 1)
+    bus_a.hops = [2, 2]
+    message_b = Message(1, 0, 2, data_flits=1)
+    bus_b = VirtualBus(2, message_b, MessageRecord(message_b), 8)
+    grid.claim(0, 3, 2)
+    grid.claim(1, 3, 2)
+    bus_b.hops = [3, 3]
+    buses = {1: bus_a, 2: bus_b}
+    validate_ports(grid, buses)  # legal so far
+    # Force bus_b's second hop to claim input lane 2 as its source by
+    # rewriting its first hop to lane 2's value without moving the grid.
+    bus_b.hops[0] = 2
+    with pytest.raises(ProtocolError):
+        validate_ports(grid, buses)

@@ -1,0 +1,29 @@
+"""The self-check battery must pass on a healthy build."""
+
+from repro.core.selfcheck import CHECKS, run_selfcheck
+
+
+def test_battery_passes():
+    results = run_selfcheck()
+    failures = [r for r in results if not r.passed]
+    assert not failures, failures
+
+
+def test_battery_covers_all_registered_checks():
+    results = run_selfcheck()
+    assert len(results) == len(CHECKS) == 6
+    assert len({r.name for r in results}) == 6
+
+
+def test_exceptions_become_failures(monkeypatch):
+    import repro.core.selfcheck as sc
+
+    def boom():
+        raise RuntimeError("injected")
+
+    boom.__name__ = "_boom_check"
+    monkeypatch.setattr(sc, "CHECKS", (boom,))
+    results = sc.run_selfcheck()
+    assert len(results) == 1
+    assert not results[0].passed
+    assert "injected" in results[0].detail

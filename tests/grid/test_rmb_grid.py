@@ -1,0 +1,123 @@
+"""Tests for the 2-D grid of RMB rings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.grid import RMBGrid
+
+
+def make_grid(rows=4, cols=4, lanes=2, **kwargs):
+    return RMBGrid(rows, cols, lanes, **kwargs)
+
+
+class TestConstruction:
+    def test_ring_counts(self):
+        grid = make_grid(4, 6, 2)
+        assert len(grid.row_rings) == 4
+        assert len(grid.col_rings) == 6
+        assert grid.row_rings[0].config.nodes == 6
+        assert grid.col_rings[0].config.nodes == 4
+        assert grid.nodes == 24
+
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            RMBGrid(3, 4, 2)   # odd rows
+        with pytest.raises(ConfigurationError):
+            RMBGrid(4, 2, 2)   # too few cols
+
+    def test_addressing_round_trip(self):
+        grid = make_grid(4, 6)
+        for node in range(grid.nodes):
+            row, col = grid.position(node)
+            assert grid.node_id(row, col) == node
+
+
+class TestRouting:
+    def test_same_row_single_leg(self):
+        grid = make_grid()
+        record = grid.submit(0, grid.node_id(1, 0), grid.node_id(1, 3),
+                             data_flits=8)
+        grid.drain()
+        assert record.finished
+        assert record.legs_total == 1
+        assert record.first_leg is None
+
+    def test_same_column_single_leg(self):
+        grid = make_grid()
+        record = grid.submit(0, grid.node_id(0, 2), grid.node_id(3, 2),
+                             data_flits=8)
+        grid.drain()
+        assert record.finished
+        assert record.legs_total == 1
+
+    def test_two_leg_journey_turns_at_destination_column(self):
+        grid = make_grid()
+        record = grid.submit(0, grid.node_id(0, 1), grid.node_id(2, 3),
+                             data_flits=8)
+        grid.drain()
+        assert record.finished
+        assert record.legs_total == 2
+        # Leg 1 rode row ring 0 from column 1 to column 3.
+        assert record.first_leg.message.source == 1
+        assert record.first_leg.message.destination == 3
+        # Leg 2 rode column ring 3 from row 0 to row 2.
+        assert record.second_leg.message.source == 0
+        assert record.second_leg.message.destination == 2
+        # The second leg starts only after the first completes.
+        assert record.second_leg.message.created_at >= \
+            record.first_leg.completed_at
+
+    def test_validation(self):
+        grid = make_grid()
+        grid.submit(0, 0, 5, data_flits=1)
+        with pytest.raises(RoutingError):
+            grid.submit(0, 1, 2, data_flits=1)   # duplicate id
+        with pytest.raises(RoutingError):
+            grid.submit(1, 0, 99, data_flits=1)  # out of range
+        with pytest.raises(RoutingError):
+            grid.submit(2, 3, 3, data_flits=1)   # self-message
+
+    def test_full_transpose_traffic(self):
+        grid = make_grid(4, 4, lanes=2)
+        message_id = 0
+        for row in range(4):
+            for col in range(4):
+                if row == col:
+                    continue
+                grid.submit(message_id, grid.node_id(row, col),
+                            grid.node_id(col, row), data_flits=6)
+                message_id += 1
+        grid.drain()
+        assert grid.completed() == message_id
+        tally = grid.latency_tally()
+        assert tally.count == message_id
+        assert tally.mean > 0
+        # Two-leg journeys recorded turn delays.
+        assert grid.turn_latency.count > 0
+
+    def test_latency_orders_single_vs_double_leg(self):
+        grid = make_grid(6, 6, lanes=2)
+        near = grid.submit(0, grid.node_id(0, 0), grid.node_id(0, 1),
+                           data_flits=8)
+        far = grid.submit(1, grid.node_id(0, 0), grid.node_id(3, 3),
+                          data_flits=8)
+        grid.drain()
+        assert near.latency() < far.latency()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+        lambda pair: pair[0] != pair[1]
+    ),
+    min_size=1, max_size=10,
+))
+def test_any_batch_drains_on_grid(pairs):
+    grid = RMBGrid(4, 4, lanes=2, check_invariants=False)
+    for index, (source, destination) in enumerate(pairs):
+        grid.submit(index, source, destination, data_flits=index % 5)
+    grid.drain()
+    assert grid.completed() == len(pairs)
+    for ring in grid.row_rings + grid.col_rings:
+        assert ring.grid.occupied_segments() == 0

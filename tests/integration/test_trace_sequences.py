@@ -1,0 +1,90 @@
+"""The trace event stream must follow the protocol's grammar per message.
+
+Paper Section 2.2 defines the flit/ack choreography; this test checks the
+recorded event sequence of every message in a busy run obeys it:
+
+    request -> inject -> extend* -> (hack | nack | header_timeout)
+    hack    -> established -> final_flit -> delivered -> complete
+    nack / header_timeout -> refused -> (inject again, via retry) ...
+"""
+
+from repro.core import Message, RMBConfig, RMBRing
+from repro.sim import RandomStream
+
+FORWARD = {"request", "inject", "extend", "tap_join", "hack",
+           "established", "final_flit", "delivered", "complete"}
+FAILURE = {"nack", "header_timeout", "refused", "abandon"}
+
+
+def run_busy_ring(seed=13, nodes=12, lanes=2, messages=24):
+    rng = RandomStream(seed)
+    ring = RMBRing(RMBConfig(nodes=nodes, lanes=lanes, cycle_period=2.0),
+                   seed=seed, trace_kinds=FORWARD | FAILURE)
+    for index in range(messages):
+        source = rng.randint(0, nodes - 1)
+        destination = (source + rng.randint(1, nodes - 1)) % nodes
+        ring.submit(Message(index, source, destination,
+                            data_flits=rng.randint(0, 20)))
+    ring.drain(max_ticks=1_000_000)
+    return ring
+
+
+def events_per_message(ring):
+    by_message = {}
+    for entry in ring.trace:
+        by_message.setdefault(entry.subject, []).append(entry.kind)
+    return by_message
+
+
+def test_every_message_starts_with_request_then_inject():
+    ring = run_busy_ring()
+    for subject, kinds in events_per_message(ring).items():
+        assert kinds[0] == "request", subject
+        assert kinds[1] == "inject", subject
+
+
+def test_every_message_ends_with_complete():
+    ring = run_busy_ring()
+    for subject, kinds in events_per_message(ring).items():
+        assert kinds[-1] == "complete", (subject, kinds[-5:])
+
+
+def test_established_requires_prior_hack():
+    ring = run_busy_ring()
+    for subject, kinds in events_per_message(ring).items():
+        for position, kind in enumerate(kinds):
+            if kind == "established":
+                assert "hack" in kinds[:position], subject
+
+
+def test_delivered_follows_final_flit():
+    ring = run_busy_ring()
+    for subject, kinds in events_per_message(ring).items():
+        assert kinds.index("final_flit") < kinds.index("delivered"), subject
+
+
+def test_refusals_are_followed_by_reinjection():
+    # Induce refusals: every message targets the same receiver.
+    ring = RMBRing(RMBConfig(nodes=8, lanes=3, cycle_period=2.0),
+                   seed=3, trace_kinds=FORWARD | FAILURE)
+    for index in range(5):
+        ring.submit(Message(index, (index + 1) % 8, 0, data_flits=40))
+    ring.drain(max_ticks=1_000_000)
+    saw_refusal = False
+    for subject, kinds in events_per_message(ring).items():
+        for position, kind in enumerate(kinds):
+            if kind == "refused":
+                saw_refusal = True
+                assert "inject" in kinds[position:], \
+                    f"{subject} refused but never retried"
+    assert saw_refusal, "the hotspot workload should cause refusals"
+
+
+def test_extension_count_matches_span():
+    ring = RMBRing(RMBConfig(nodes=12, lanes=3, cycle_period=2.0),
+                   seed=0, trace_kinds=FORWARD)
+    ring.submit(Message(0, 2, 9, data_flits=4))  # span 7
+    ring.drain()
+    kinds = events_per_message(ring)["msg0"]
+    # Inject claims the first hop; 6 extends complete the 7-segment path.
+    assert kinds.count("extend") == 6

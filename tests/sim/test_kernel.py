@@ -1,0 +1,141 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator, every
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run(sim):
+    fired = []
+    sim.schedule(5, lambda: fired.append(sim.now))
+    sim.schedule(2, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.0, 5.0]
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(3, lambda: None)
+
+
+def test_run_until_advances_clock_without_events(sim):
+    sim.run(until=100)
+    assert sim.now == 100.0
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(10, lambda: fired.append("late"))
+    sim.run(until=5)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run(until=15)
+    assert fired == ["late"]
+
+
+def test_run_ticks_is_relative(sim):
+    sim.run_ticks(10)
+    sim.run_ticks(10)
+    assert sim.now == 20.0
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3:
+            sim.schedule(1, chain)
+
+    sim.schedule(1, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    event = sim.schedule(1, lambda: fired.append("no"))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_max_events_guard(sim):
+    def forever():
+        sim.schedule(0, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_every_fires_periodically(sim):
+    times = []
+    every(sim, 5, lambda: times.append(sim.now))
+    sim.run(until=22)
+    assert times == [5.0, 10.0, 15.0, 20.0]
+
+
+def test_every_stop_function(sim):
+    times = []
+    stop = every(sim, 5, lambda: times.append(sim.now))
+    sim.run(until=12)
+    stop()
+    sim.run(until=50)
+    assert times == [5.0, 10.0]
+
+
+def test_every_rejects_nonpositive_period(sim):
+    with pytest.raises(SchedulingError):
+        every(sim, 0, lambda: None)
+
+
+def test_every_with_start(sim):
+    times = []
+    every(sim, 10, lambda: times.append(sim.now), start=3)
+    sim.run(until=25)
+    assert times == [3.0, 13.0, 23.0]
+
+
+def test_step_executes_single_event(sim):
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.schedule(2, lambda: fired.append(2))
+    sim.step()
+    assert fired == [1]
+    assert sim.now == 1.0
+
+
+def test_run_all_advances_independent_simulators():
+    from repro.sim.kernel import run_all
+
+    sims = [Simulator() for _ in range(3)]
+    hits = []
+    for index, simulator in enumerate(sims):
+        simulator.schedule(5 + index, (lambda i: (lambda: hits.append(i)))(index))
+    run_all(sims, until=20)
+    assert sorted(hits) == [0, 1, 2]
+    assert all(simulator.now == 20.0 for simulator in sims)
+
+
+def test_pending_events_counter(sim):
+    assert sim.pending_events == 0
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0

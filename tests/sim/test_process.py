@@ -1,0 +1,164 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, Waitable, all_of, any_of
+
+
+def test_process_sleeps(sim):
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield 5
+        log.append(("middle", sim.now))
+        yield 3
+        log.append(("end", sim.now))
+
+    sim.spawn(worker())
+    sim.run()
+    assert log == [("start", 0.0), ("middle", 5.0), ("end", 8.0)]
+
+
+def test_process_result(sim):
+    def worker():
+        yield 1
+        return 42
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.finished
+    assert process.result == 42
+
+
+def test_process_waits_on_waitable(sim):
+    gate = Waitable()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(7, lambda: gate.fire("go"))
+    sim.run()
+    assert log == [(7.0, "go")]
+
+
+def test_waiting_on_fired_waitable_resumes_immediately(sim):
+    gate = Waitable()
+    gate.fire("early")
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append(value)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == ["early"]
+
+
+def test_process_joins_process(sim):
+    def inner():
+        yield 4
+        return "inner-result"
+
+    log = []
+
+    def outer():
+        child = sim.spawn(inner())
+        result = yield child
+        log.append((sim.now, result))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(4.0, "inner-result")]
+
+
+def test_yielding_garbage_raises(sim):
+    def bad():
+        yield "nonsense"
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_delay_raises(sim):
+    def bad():
+        yield -1
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_spawn_requires_generator(sim):
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_waitable_fire_is_idempotent():
+    gate = Waitable()
+    seen = []
+    gate.add_callback(seen.append)
+    gate.fire(1)
+    gate.fire(2)
+    assert seen == [1]
+    assert gate.value == 1
+
+
+def test_all_of_waits_for_every_input(sim):
+    gates = [Waitable(), Waitable(), Waitable()]
+    combined = all_of(gates)
+    log = []
+
+    def waiter():
+        values = yield combined
+        log.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.schedule(1, lambda: gates[2].fire("c"))
+    sim.schedule(2, lambda: gates[0].fire("a"))
+    sim.schedule(3, lambda: gates[1].fire("b"))
+    sim.run()
+    assert log == [(3.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_fires_immediately():
+    combined = all_of([])
+    assert combined.fired
+    assert combined.value == []
+
+
+def test_any_of_fires_on_first(sim):
+    gates = [Waitable(), Waitable()]
+    combined = any_of(gates)
+    log = []
+
+    def waiter():
+        value = yield combined
+        log.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.schedule(2, lambda: gates[1].fire("second"))
+    sim.schedule(9, lambda: gates[0].fire("first"))
+    sim.run()
+    assert log == [(2.0, "second")]
+
+
+def test_alive_processes_tracking(sim):
+    def short():
+        yield 1
+
+    def long():
+        yield 100
+
+    sim.spawn(short())
+    sim.spawn(long())
+    sim.run(until=10)
+    alive = sim.alive_processes()
+    assert len(alive) == 1
+    assert alive[0].name == "long"

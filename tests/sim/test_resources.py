@@ -1,0 +1,148 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_immediate_grant(sim):
+    resource = Resource(sim, capacity=2)
+    assert resource.acquire().fired
+    assert resource.acquire().fired
+    assert resource.available == 0
+
+
+def test_resource_queues_beyond_capacity(sim):
+    resource = Resource(sim, capacity=1)
+    first = resource.acquire()
+    second = resource.acquire()
+    assert first.fired
+    assert not second.fired
+    assert resource.queue_length == 1
+    resource.release()
+    assert second.fired
+    assert resource.queue_length == 0
+
+
+def test_resource_fifo_order(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    grants = [resource.acquire() for _ in range(3)]
+    resource.release()
+    assert [grant.fired for grant in grants] == [True, False, False]
+    resource.release()
+    assert [grant.fired for grant in grants] == [True, True, False]
+
+
+def test_release_idle_raises(sim):
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_try_acquire_does_not_queue(sim):
+    resource = Resource(sim, capacity=1)
+    assert resource.try_acquire()
+    assert not resource.try_acquire()
+    assert resource.queue_length == 0
+
+
+def test_try_acquire_respects_waiters(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    resource.acquire()  # queued waiter
+    resource.release()  # transfers to waiter
+    assert not resource.try_acquire()
+
+
+def test_resource_wait_time_statistics(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    resource.acquire()
+    sim.schedule(10, resource.release)
+    sim.run()
+    assert resource.mean_wait() == pytest.approx(10.0 / 2)
+
+
+def test_capacity_must_be_positive(sim):
+    with pytest.raises(CapacityError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_get_fifo(sim):
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    first = store.get()
+    second = store.get()
+    assert first.fired and first.value == "a"
+    assert second.fired and second.value == "b"
+
+
+def test_store_get_waits_for_item(sim):
+    store = Store(sim)
+    got = store.get()
+    assert not got.fired
+    store.put("x")
+    assert got.fired
+    assert got.value == "x"
+
+
+def test_store_bounded_put_blocks(sim):
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    assert first.fired
+    assert not second.fired
+    got = store.get()
+    assert got.value == "a"
+    assert second.fired
+    assert len(store) == 1
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    ok, value = store.try_get()
+    assert not ok and value is None
+    store.put("z")
+    ok, value = store.try_get()
+    assert ok and value == "z"
+
+
+def test_store_try_get_unblocks_putter(sim):
+    store = Store(sim, capacity=1)
+    store.put("a")
+    pending = store.put("b")
+    assert not pending.fired
+    ok, value = store.try_get()
+    assert ok and value == "a"
+    assert pending.fired
+
+
+def test_store_capacity_validation(sim):
+    with pytest.raises(CapacityError):
+        Store(sim, capacity=0)
+
+
+def test_producer_consumer_processes(sim):
+    store = Store(sim, capacity=2)
+    consumed = []
+
+    def producer():
+        for index in range(5):
+            yield store.put(index)
+            yield 1
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            consumed.append((sim.now, item))
+            yield 3
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert [item for _, item in consumed] == [0, 1, 2, 3, 4]
+    # Consumer is slower, so later items arrive at its pace.
+    assert consumed[-1][0] >= 12

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 16
+        assert args.lanes == 4
+        assert args.command == "run"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["race", "--family", "zigzag"])
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        code = main(["run", "-n", "8", "-k", "2", "-m", "8",
+                     "--rate", "0.05", "-f", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMB N=8 k=2" in out
+        assert "completion_rate" in out
+
+    def test_asynchronous_flag(self, capsys):
+        code = main(["run", "-n", "8", "-k", "2", "-m", "4",
+                     "--rate", "0.05", "-f", "2", "--asynchronous"])
+        assert code == 0
+        assert "asynchronous" in capsys.readouterr().out
+
+    def test_zero_rate_reports_error(self, capsys):
+        code = main(["run", "-n", "8", "--rate", "0.0"])
+        assert code == 1
+
+
+class TestRace:
+    def test_race_prints_all_networks(self, capsys):
+        code = main(["race", "-n", "16", "-k", "4",
+                     "--family", "ring-shift", "-f", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("rmb", "hypercube", "fattree", "mesh", "crossbar"):
+            assert name in out
+        assert "makespan_vs_rmb" in out
+
+
+class TestCost:
+    def test_cost_table(self, capsys):
+        code = main(["cost", "-n", "64", "-k", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross_points" in out
+        assert "rmb" in out
+
+
+class TestTrace:
+    def test_trace_renders_frames(self, capsys):
+        code = main(["trace", "-n", "8", "-k", "3",
+                     "--frames", "3", "--step", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("--- t =") == 3
+        assert "compaction moves" in out
+        assert "lane" in out
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes_and_prints_table(self, capsys):
+        code = main(["selfcheck"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS" in out
+        assert "FAIL" not in out
+        assert "all 6 checks passed" in out

@@ -1,0 +1,43 @@
+"""The exception hierarchy contract: one base class, sensible subtyping."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.SimulationError,
+    errors.SchedulingError,
+    errors.ProtocolError,
+    errors.InvariantViolation,
+    errors.RoutingError,
+    errors.TopologyError,
+    errors.CapacityError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error):
+    assert issubclass(error, errors.ReproError)
+    assert issubclass(error, Exception)
+
+
+def test_scheduling_is_a_simulation_error():
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+
+def test_invariant_violation_is_a_protocol_error():
+    assert issubclass(errors.InvariantViolation, errors.ProtocolError)
+
+
+def test_single_catch_covers_the_library():
+    # A caller can fence the whole library with one except clause.
+    with pytest.raises(errors.ReproError):
+        raise errors.CapacityError("lane full")
+
+
+def test_programming_errors_are_not_repro_errors():
+    assert not issubclass(TypeError, errors.ReproError)
+    assert not issubclass(ValueError, errors.ReproError)

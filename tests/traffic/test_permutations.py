@@ -1,0 +1,118 @@
+"""Unit and property tests for permutation families."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim import RandomStream
+from repro.traffic import permutations as perms
+
+
+POWER_SIZES = [4, 8, 16, 64]
+
+
+@pytest.mark.parametrize("nodes", POWER_SIZES)
+@pytest.mark.parametrize("family", sorted(perms.FAMILIES))
+def test_every_family_yields_a_permutation(nodes, family):
+    if family == "transpose" and (nodes.bit_length() - 1) % 2 != 0:
+        pytest.skip("transpose needs an even bit count")
+    rng = RandomStream(1)
+    perm = perms.generate(family, nodes, rng)
+    assert perms.is_permutation(perm)
+
+
+def test_identity():
+    assert perms.identity(5) == [0, 1, 2, 3, 4]
+
+
+def test_bit_reversal_known_values():
+    assert perms.bit_reversal(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_bit_reversal_is_involution():
+    perm = perms.bit_reversal(64)
+    assert [perm[perm[i]] for i in range(64)] == list(range(64))
+
+
+def test_bit_complement_known_values():
+    assert perms.bit_complement(4) == [3, 2, 1, 0]
+
+
+def test_perfect_shuffle_known_values():
+    # rotate-left on 3 bits: 1 (001) -> 2 (010); 4 (100) -> 1 (001).
+    perm = perms.perfect_shuffle(8)
+    assert perm[1] == 2
+    assert perm[4] == 1
+    assert perm[7] == 7
+
+
+def test_transpose_known_values():
+    # 16 nodes = 4 bits; transpose swaps bit pairs: 0b0001 -> 0b0100.
+    perm = perms.transpose(16)
+    assert perm[0b0001] == 0b0100
+    assert perm[0b0110] == 0b1001
+
+
+def test_transpose_is_involution():
+    perm = perms.transpose(16)
+    assert [perm[perm[i]] for i in range(16)] == list(range(16))
+
+
+def test_transpose_rejects_odd_bits():
+    with pytest.raises(WorkloadError):
+        perms.transpose(8)
+
+
+def test_butterfly_swaps_msb_lsb():
+    perm = perms.butterfly(8)
+    assert perm[0b100] == 0b001
+    assert perm[0b001] == 0b100
+    assert perm[0b101] == 0b101
+
+
+def test_ring_shift_and_tornado():
+    assert perms.ring_shift(4, 1) == [1, 2, 3, 0]
+    assert perms.tornado(8) == perms.ring_shift(8, 3)
+    with pytest.raises(WorkloadError):
+        perms.ring_shift(4, 8)  # identity shift
+
+
+def test_neighbor_exchange_pairs():
+    assert perms.neighbor_exchange(6) == [1, 0, 3, 2, 5, 4]
+    with pytest.raises(WorkloadError):
+        perms.neighbor_exchange(5)
+
+
+def test_random_derangement_has_no_fixed_points():
+    rng = RandomStream(9)
+    for _ in range(10):
+        perm = perms.random_derangement(12, rng)
+        assert all(perm[i] != i for i in range(12))
+
+
+def test_power_of_two_required_for_bit_families():
+    with pytest.raises(WorkloadError):
+        perms.bit_reversal(12)
+    with pytest.raises(WorkloadError):
+        perms.perfect_shuffle(0)
+
+
+def test_generate_validates_family_and_rng():
+    with pytest.raises(WorkloadError):
+        perms.generate("unknown", 8)
+    with pytest.raises(WorkloadError):
+        perms.generate("random", 8)  # needs rng
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0))
+def test_random_permutation_property(bits, seed):
+    nodes = 1 << bits
+    rng = RandomStream(seed)
+    assert perms.is_permutation(perms.random_permutation(nodes, rng))
+
+
+def test_is_permutation_rejects_non_bijections():
+    assert not perms.is_permutation([0, 0, 2])
+    assert not perms.is_permutation([1, 2, 3])
+    assert perms.is_permutation([])
