@@ -85,6 +85,8 @@ _RAW = [
      "bench_wire_length.py", "new"),
     ("E25", "latency vs offered load", "standard evaluation (omitted)",
      "bench_load_sweep.py", "new"),
+    ("E26", "graceful degradation under faults", "DESIGN.md fault model",
+     "bench_fault_sweep.py", "new"),
 ]
 
 #: Every reproduced artefact, ordered as in DESIGN.md §5.

@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-node injection probability per tick")
     run.add_argument("--asynchronous", action="store_true",
                      help="independent skewed INC clocks (rules 1-5)")
+    run.add_argument("--fault-plan", default=None, metavar="SPEC",
+                     help="inject faults: 'seg:S,L@T', 'lane:L@T', "
+                          "'inc:I@T', 'random:FRAC@T', '+...' to repair, "
+                          "';'-separated; or '@plan.json'")
+    run.add_argument("--max-retries", type=int, default=None,
+                     help="per-message retry cap (default: unlimited; "
+                          "8 when a fault plan is given)")
 
     race = commands.add_parser(
         "race", help="race one permutation across all networks")
@@ -91,10 +98,27 @@ def command_run(args: argparse.Namespace) -> int:
     if args.rate <= 0.0:
         print("--rate must be positive")
         return 1
+    fault_plan = None
+    if args.fault_plan:
+        from repro.errors import FaultError
+        from repro.faults import parse_spec
+        try:
+            fault_plan = parse_spec(args.fault_plan, args.nodes, args.lanes,
+                                    seed=args.seed)
+        except FaultError as exc:
+            print(f"bad --fault-plan: {exc}")
+            return 1
+    max_retries = args.max_retries
+    if max_retries is None and fault_plan is not None:
+        # A permanently dead source column would otherwise retry forever
+        # and the drain below would never terminate.
+        max_retries = 8
     config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
                        cycle_period=2.0,
+                       max_retries=max_retries,
                        synchronous=not args.asynchronous)
-    ring = RMBRing(config, seed=args.seed, probe_period=8.0)
+    ring = RMBRing(config, seed=args.seed, probe_period=8.0,
+                   fault_plan=fault_plan)
     rng = RandomStream(args.seed, name="cli")
     duration = max(1, int(args.messages / (args.rate * args.nodes)))
     schedule = bernoulli_schedule(
@@ -115,6 +139,16 @@ def command_run(args: argparse.Namespace) -> int:
         title=(f"RMB N={args.nodes} k={args.lanes} ({mode}), "
                f"{len(schedule)} messages @ rate {args.rate}"),
     ))
+    if ring.faults is not None:
+        print("\nfault plan:")
+        print(fault_plan.describe())
+        fault_rows = [{"metric": key, "value": value}
+                      for key, value in ring.faults.stats.summary().items()]
+        fault_rows.append({"metric": "evacuation_moves",
+                           "value": ring.compaction.stats.evacuations})
+        fault_rows.append({"metric": "min_windowed_throughput",
+                           "value": round(stats.min_windowed_throughput(), 3)})
+        print(render_table(fault_rows, title="degraded-mode accounting"))
     return 0
 
 

@@ -34,10 +34,12 @@ from repro.core.status import (
     ALL_CONDITIONS,
     CODE_MEANINGS,
     LEGAL_CODES,
+    PortHealth,
     classify_condition,
     code_for,
     is_legal,
     move_sequences,
+    move_sequences_up,
 )
 from repro.core.trace_render import film, glyph_for, render_bus, render_grid, render_ring
 from repro.core.virtual_bus import BusPhase, VirtualBus
@@ -60,6 +62,7 @@ __all__ = [
     "MessageRecord",
     "Move",
     "PE_SOURCE",
+    "PortHealth",
     "PortView",
     "RMBConfig",
     "RMBRing",
@@ -81,6 +84,7 @@ __all__ = [
     "is_legal",
     "max_neighbour_skew",
     "move_sequences",
+    "move_sequences_up",
     "port_view",
     "render_bus",
     "render_grid",

@@ -32,7 +32,12 @@ from typing import Optional
 
 from repro.core.config import RMBConfig
 from repro.core.segments import SegmentGrid
-from repro.core.status import classify_condition, move_sequences
+from repro.core.status import (
+    PortHealth,
+    classify_condition,
+    move_sequences,
+    move_sequences_up,
+)
 from repro.core.virtual_bus import BusPhase, VirtualBus
 from repro.errors import ProtocolError
 from repro.sim.trace import TraceRecorder
@@ -56,6 +61,7 @@ class CompactionStats:
 
     moves: int = 0
     cycles_run: int = 0
+    evacuations: int = 0
     condition_counts: dict[str, int] = field(default_factory=dict)
 
     def count(self, condition: str) -> None:
@@ -84,6 +90,10 @@ class CompactionEngine:
         self.stats = CompactionStats()
         self.recent_moves: list[Move] = []
         self.keep_move_log = False
+        #: INCs whose switching logic has dropped out (fault model): they
+        #: perform no compaction work on their output segments.  Shared
+        #: with the fault manager, which adds/removes indices.
+        self.dropped_incs: set[int] = set()
 
     # ------------------------------------------------------------------
     # Legality
@@ -102,17 +112,24 @@ class CompactionEngine:
             )
         return bus, hop
 
-    def move_legal(self, segment: int, lane: int) -> bool:
-        """D1: may the occupant of ``(segment, lane)`` drop one lane now?"""
+    def move_legal(self, segment: int, lane: int,
+                   ignore_head_rule: bool = False) -> bool:
+        """D1: may the occupant of ``(segment, lane)`` drop one lane now?
+
+        ``ignore_head_rule`` waives D9 for fault evacuation: a travelling
+        header sitting on a dying segment must escape even if that drags
+        it low.
+        """
         if lane < 1:
             return False
         held = self._hop_at(segment, lane)
         if held is None:
             return False
-        if not self.grid.is_free(segment, lane - 1):
+        if not self.grid.is_usable(segment, lane - 1):
             return False
         bus, hop = held
-        if (not self.config.compact_head_while_extending
+        if (not ignore_head_rule
+                and not self.config.compact_head_while_extending
                 and bus.phase is BusPhase.EXTENDING
                 and hop == len(bus.hops) - 1
                 and not bus.complete):
@@ -187,13 +204,16 @@ class CompactionEngine:
         if not self.config.compaction_enabled:
             return 0
         self.stats.cycles_run += 1
+        self._evacuate_all(cycle)
         snapshot_free = {
             (segment, lane)
             for segment in range(self.grid.nodes)
-            for lane in self.grid.free_lanes(segment)
+            for lane in self.grid.usable_lanes(segment)
         }
         candidates: list[tuple[int, int, int, int]] = []  # lane, seg, bus, hop
         for segment, lane, bus_id in list(self.grid.iter_occupied()):
+            if segment in self.dropped_incs:
+                continue
             if lane < 1 or not self.considered(segment, lane, cycle):
                 continue
             if (segment, lane - 1) not in snapshot_free:
@@ -240,9 +260,10 @@ class CompactionEngine:
         immediately (event-atomic); the parity rule keeps adjacent INCs'
         concurrent work on disjoint lanes.
         """
-        if not self.config.compaction_enabled:
+        if not self.config.compaction_enabled or \
+                inc_index in self.dropped_incs:
             return 0
-        moves = 0
+        moves = self._evacuate_segment_column(inc_index, cycle)
         for lane in range(1, self.grid.lanes):
             if not self.considered(inc_index, lane, cycle):
                 continue
@@ -250,6 +271,92 @@ class CompactionEngine:
                 self._commit(inc_index, lane, cycle)
                 moves += 1
         return moves
+
+    # ------------------------------------------------------------------
+    # Fault evacuation (make-before-break off dying segments)
+    # ------------------------------------------------------------------
+    def _evacuate_all(self, cycle: int) -> int:
+        """Migrate buses off every DYING segment that allows a legal move."""
+        moved = 0
+        for segment in range(self.grid.nodes):
+            if segment in self.dropped_incs:
+                continue
+            moved += self._evacuate_segment_column(segment, cycle)
+        return moved
+
+    def _evacuate_segment_column(self, segment: int, cycle: int) -> int:
+        """Evacuation work of one INC: escape moves for its dying outputs.
+
+        Evacuation ignores the odd/even parity schedule — a dying segment
+        is an emergency, and the grace window before the segment dies
+        spans several compaction cycles, so the INC simply performs the
+        escape move in its next work slot (fault model F2).  Downward
+        moves are preferred (they compose with normal compaction); an
+        upward move is the fallback for a bus trapped with no healthy
+        lane below.
+        """
+        moved = 0
+        for lane in range(self.grid.lanes):
+            if self.grid.health(segment, lane) is not PortHealth.DYING:
+                continue
+            if self.grid.occupant(segment, lane) is None:
+                continue
+            if self.move_legal(segment, lane, ignore_head_rule=True):
+                self._commit(segment, lane, cycle)
+                self.stats.evacuations += 1
+                moved += 1
+            elif self._evacuate_up_legal(segment, lane):
+                self._commit_up(segment, lane, cycle)
+                moved += 1
+        return moved
+
+    def _evacuate_up_legal(self, segment: int, lane: int) -> bool:
+        """Mirror of D1 for an upward escape from a dying segment."""
+        if lane + 1 >= self.grid.lanes:
+            return False
+        held = self._hop_at(segment, lane)
+        if held is None:
+            return False
+        if not self.grid.is_usable(segment, lane + 1):
+            return False
+        bus, hop = held
+        upstream = bus.upstream_lane(hop)
+        if upstream is not None and upstream not in (lane, lane + 1):
+            return False
+        downstream = bus.downstream_lane(hop)
+        if downstream is not None and downstream not in (lane, lane + 1):
+            return False
+        return True
+
+    def _commit_up(self, segment: int, lane: int, cycle: int) -> None:
+        """Execute one legal upward evacuation move."""
+        held = self._hop_at(segment, lane)
+        assert held is not None
+        bus, hop = held
+        upstream = bus.upstream_lane(hop)
+        downstream = bus.downstream_lane(hop)
+        for sequence in move_sequences_up(upstream, lane, downstream,
+                                          self.grid.lanes):
+            if not sequence.validates():
+                raise ProtocolError(
+                    f"illegal register sequence during evacuation of "
+                    f"{bus.describe()} at segment {segment}"
+                )
+        self.grid.move_up(segment, lane, bus.bus_id)
+        bus.hops[hop] = lane + 1
+        bus.record.lanes_visited.add(lane + 1)
+        self.stats.evacuations += 1
+        if self.keep_move_log:
+            self.recent_moves.append(
+                Move(self._now(), cycle, segment, lane, bus.bus_id,
+                     "evacuation-up")
+            )
+        if self.trace is not None:
+            self.trace.record(
+                self._now(), "evacuation_move", f"bus{bus.bus_id}",
+                segment=segment, lane_from=lane, lane_to=lane + 1,
+                cycle=cycle,
+            )
 
     # ------------------------------------------------------------------
     # Helpers for tests and benchmarks

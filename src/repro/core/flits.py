@@ -164,10 +164,29 @@ class MessageRecord:
     head_stall_ticks: int = 0                # ticks the HF spent blocked
     lanes_visited: set[int] = field(default_factory=set)
     tap_delivered_at: dict[int, float] = field(default_factory=dict)
+    fault_kills: int = 0                     # virtual buses lost to faults
+    fault_nacks: int = 0                     # refusals due to dead hardware
+    first_fault_at: Optional[float] = None   # first fault that hit this message
+    abandoned: bool = False                  # gave up after max_retries
 
     @property
     def finished(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def fault_hit(self) -> bool:
+        """True iff a fault ever disrupted this message's delivery."""
+        return self.fault_kills > 0 or self.fault_nacks > 0
+
+    def recovery_time(self) -> Optional[float]:
+        """Ticks from the first fault hit to eventual completion.
+
+        ``None`` when the message was never hit by a fault or has not
+        (yet) completed — the degraded-mode "time-to-recover" metric.
+        """
+        if self.first_fault_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.first_fault_at
 
     def latency(self) -> Optional[float]:
         """Request-to-delivery latency, or ``None`` if still in flight."""

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.core.cycles import CycleController
 from repro.core.ports import validate_ports
 from repro.core.segments import SegmentGrid
+from repro.core.status import PortHealth
 from repro.core.virtual_bus import VirtualBus
 from repro.errors import InvariantViolation, ProtocolError
 
@@ -77,7 +78,13 @@ class LaneMonotonicity:
     def __init__(self) -> None:
         self._last: dict[tuple[int, int], int] = {}   # (bus, hop) -> lane
 
-    def observe(self, buses: dict[int, VirtualBus]) -> None:
+    def reset(self) -> None:
+        """Forget all placements (called when a fault repair lands, since
+        an evacuation off the repaired segment may have moved hops up)."""
+        self._last.clear()
+
+    def observe(self, buses: dict[int, VirtualBus],
+                grid: Optional[SegmentGrid] = None) -> None:
         live_keys = set()
         for bus in buses.values():
             for hop in bus.held_hops():
@@ -86,15 +93,40 @@ class LaneMonotonicity:
                 lane = bus.hops[hop]
                 previous = self._last.get(key)
                 if previous is not None and lane > previous:
-                    raise InvariantViolation(
-                        f"{bus.describe()}: hop {hop} rose from lane "
-                        f"{previous} to {lane}; compaction must be downward"
+                    # An upward move is legal only as a fault evacuation:
+                    # the lane the hop left must be DYING or DEAD.
+                    segment = bus.segment_index(hop)
+                    escaped_fault = (
+                        grid is not None
+                        and grid.health(segment, previous) is not PortHealth.OK
                     )
+                    if not escaped_fault:
+                        raise InvariantViolation(
+                            f"{bus.describe()}: hop {hop} rose from lane "
+                            f"{previous} to {lane}; compaction must be "
+                            "downward except when evacuating a faulty segment"
+                        )
                 self._last[key] = lane
         # Forget released hops so bus ids can be reused safely.
         for key in list(self._last):
             if key not in live_keys:
                 del self._last[key]
+
+
+def check_no_dead_occupancy(grid: SegmentGrid) -> None:
+    """No virtual bus may keep holding a DEAD segment.
+
+    The fault manager kills the occupant the instant a segment dies, so
+    any occupied DEAD segment signals a bug in the teardown path.  (DYING
+    segments may legitimately stay occupied through the make-before-break
+    evacuation window.)
+    """
+    for segment, lane, health in grid.faulty_segments():
+        if health is PortHealth.DEAD and grid.occupant(segment, lane) is not None:
+            raise InvariantViolation(
+                f"dead segment ({segment}, {lane}) still carries bus "
+                f"{grid.occupant(segment, lane)}"
+            )
 
 
 def check_lemma1(controllers: Sequence[CycleController]) -> None:
@@ -132,7 +164,8 @@ class InvariantMonitor:
         """Run every check once; raises on the first violation."""
         check_grid_bus_agreement(self.grid, self.buses)
         check_bus_shapes(self.buses, self.grid.lanes)
-        self.monotonicity.observe(self.buses)
+        check_no_dead_occupancy(self.grid)
+        self.monotonicity.observe(self.buses, self.grid)
         if self.check_ports:
             try:
                 validate_ports(self.grid, self.buses)

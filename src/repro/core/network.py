@@ -13,7 +13,7 @@ routes each message the short way round.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.core.compaction import CompactionEngine
 from repro.core.config import RMBConfig
@@ -27,9 +27,12 @@ from repro.core.virtual_bus import VirtualBus
 from repro.errors import ProtocolError
 from repro.sim.clock import skewed_domains
 from repro.sim.kernel import Simulator, every
-from repro.sim.monitor import TimeSeries
+from repro.sim.monitor import RateMeter, TimeSeries
 from repro.sim.rng import SeedSequence
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> faults cycle
+    from repro.faults.plan import FaultPlan
 
 
 class RMBRing:
@@ -48,7 +51,11 @@ class RMBRing:
             compaction cycle.  On by default — every number this library
             reports comes from a continuously validated run.
         probe_period: sampling period for the utilisation / live-bus
-            probes; ``None`` disables them.
+            probes (and, with a fault plan, the residual-throughput rate
+            meter); ``None`` disables them.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`; when
+            given, a :class:`~repro.faults.inject.FaultManager` is built
+            and armed so the plan's outages fire during the run.
         name: label prefix for trace subjects and clock names.
     """
 
@@ -60,6 +67,7 @@ class RMBRing:
         trace_kinds: Optional[set[str]] = None,
         check_invariants: bool = True,
         probe_period: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
         name: str = "rmb",
     ) -> None:
         self.config = config
@@ -101,6 +109,26 @@ class RMBRing:
         if probe_period is not None:
             every(self.sim, probe_period, self._sample_probes,
                   label=f"{name}.probes")
+        self.faults = None
+        self.throughput_meter: Optional[RateMeter] = None
+        if fault_plan is not None:
+            from repro.faults.inject import FaultManager
+            self.faults = FaultManager(
+                fault_plan,
+                sim=self.sim,
+                grid=self.grid,
+                routing=self.routing,
+                compaction=self.compaction,
+                monitor=self.monitor,
+                trace=self.trace,
+            )
+            self.faults.arm()
+            if probe_period is not None:
+                self.throughput_meter = RateMeter(
+                    self.sim, probe_period,
+                    lambda: float(self.routing.flits_delivered),
+                    name=f"{name}.throughput",
+                )
 
     def _build_cycle_machinery(self) -> None:
         config = self.config
@@ -187,6 +215,8 @@ class RMBRing:
             duration=self.sim.now,
             utilization=self.utilization,
             live_buses=self.live_buses,
+            throughput=(self.throughput_meter.series
+                        if self.throughput_meter is not None else None),
         )
 
     def check_now(self) -> None:

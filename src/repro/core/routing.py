@@ -31,6 +31,7 @@ from typing import Callable, Deque, Optional
 from repro.core.config import RMBConfig
 from repro.core.flits import Message, MessageRecord
 from repro.core.segments import SegmentGrid
+from repro.core.status import PortHealth
 from repro.core.virtual_bus import BusPhase, VirtualBus
 from repro.errors import ProtocolError, RoutingError
 from repro.sim.rng import RandomStream
@@ -74,6 +75,8 @@ class RoutingEngine:
         self.nacked = 0
         self.timed_out = 0
         self.abandoned = 0
+        self.fault_nacked = 0
+        self.fault_killed = 0
         self.flits_delivered = 0
         self._awaiting_retry = 0
         #: Optional callback fired when a message fully completes (its
@@ -129,19 +132,51 @@ class RoutingEngine:
     # Admission
     # ------------------------------------------------------------------
     def _admit(self) -> None:
-        top = self.config.top_lane
         for node in range(self.config.nodes):
             if self._tx_active[node] >= self.config.tx_ports:
                 continue
             queue = self._queues[node]
             if not queue:
                 continue
-            if not self.grid.is_free(node, top):
+            lane = self._insertion_lane(node)
+            if lane is None:
+                # Every output segment at this INC is DYING or DEAD: the
+                # node cannot insert at all.  Nack the request back to the
+                # PE immediately (waiting cannot help until a repair) and
+                # let the backoff machinery retry.
+                self._fault_nack_queued(queue.popleft())
+                continue
+            if not self.grid.is_free(node, lane):
                 continue
             message = queue.popleft()
-            self._inject(message)
+            self._inject(message, lane)
 
-    def _inject(self, message: Message) -> None:
+    def _insertion_lane(self, node: int) -> Optional[int]:
+        """Lane new requests enter on at ``node``: the highest healthy lane.
+
+        Fault-free this is always the top lane (the paper's top-bus-only
+        insertion rule).  Under faults the rule degrades gracefully: the
+        insertion point slides down to the highest lane whose output
+        segment still works (design decision F3).  ``None`` when the whole
+        column is faulty.
+        """
+        for lane in range(self.config.top_lane, -1, -1):
+            if self.grid.health(node, lane) is PortHealth.OK:
+                return lane
+        return None
+
+    def _fault_nack_queued(self, message: Message) -> None:
+        """Refuse a queued request whose source INC has no healthy output."""
+        record = self.records[message.message_id]
+        record.fault_nacks += 1
+        if record.first_fault_at is None:
+            record.first_fault_at = self._now()
+        self.fault_nacked += 1
+        self._record("fault_nack", message, node=message.source,
+                     reason="source_column_dead")
+        self._schedule_retry_for(record, message)
+
+    def _inject(self, message: Message, top: int) -> None:
         record = self.records[message.message_id]
         bus = VirtualBus(
             bus_id=self._next_bus_id,
@@ -150,7 +185,6 @@ class RoutingEngine:
             ring_size=self.config.nodes,
         )
         self._next_bus_id += 1
-        top = self.config.top_lane
         self.grid.claim(message.source, top, bus.bus_id)
         bus.hops.append(top)
         record.lanes_visited.add(top)
@@ -172,6 +206,19 @@ class RoutingEngine:
             if bus.phase is not BusPhase.EXTENDING or bus.complete:
                 continue
             next_segment = bus.segment_index(len(bus.hops))
+            if not any(self.grid.health(next_segment, lane) is PortHealth.OK
+                       for lane in range(self.config.lanes)):
+                # The whole column ahead is dead: no amount of waiting or
+                # compaction frees a path until a repair.  Nack back to
+                # the source instead of stalling into the timeout.
+                bus.record.fault_nacks += 1
+                if bus.record.first_fault_at is None:
+                    bus.record.first_fault_at = self._now()
+                self.fault_nacked += 1
+                self._record("fault_nack", bus.message, bus=bus.bus_id,
+                             dead_column=next_segment)
+                self._begin_nack_return(bus, timed_out=False)
+                continue
             lane = self._pick_extension_lane(next_segment, bus.head_lane())
             if lane is None:
                 self._stall(bus)
@@ -197,7 +244,8 @@ class RoutingEngine:
         if self.config.extend_up:
             reachable.append(entry_lane + 1)
         for lane in reachable:
-            if 0 <= lane < self.config.lanes and self.grid.is_free(segment, lane):
+            if 0 <= lane < self.config.lanes and \
+                    self.grid.is_usable(segment, lane):
                 return lane
         return None
 
@@ -316,12 +364,18 @@ class RoutingEngine:
         self._stall_ticks.pop(bus.bus_id, None)
 
     def _schedule_retry(self, bus: VirtualBus) -> None:
-        record = bus.record
-        attempts = record.nacks + record.retries
+        self._schedule_retry_for(bus.record, bus.message)
+
+    def _schedule_retry_for(self, record: MessageRecord,
+                            message: Message) -> None:
+        """Exponential-backoff retry shared by Nack, timeout and fault paths."""
+        attempts = record.nacks + record.fault_nacks + record.fault_kills \
+            + record.retries
         if self.config.max_retries is not None and \
                 record.retries >= self.config.max_retries:
             self.abandoned += 1
-            self._record("abandon", bus.message, bus=bus.bus_id)
+            record.abandoned = True
+            self._record("abandon", message)
             return
         record.retries += 1
         delay = self.config.retry_delay * (
@@ -329,7 +383,6 @@ class RoutingEngine:
         )
         if self._rng is not None and self.config.retry_jitter > 0:
             delay += self._rng.uniform(0, self.config.retry_jitter * delay)
-        message = bus.message
         self._awaiting_retry += 1
 
         def requeue() -> None:
@@ -337,6 +390,47 @@ class RoutingEngine:
             self._queues[message.source].append(message)
 
         self._schedule(delay, requeue)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def fail_bus(self, bus_id: int, segment: int, lane: int) -> None:
+        """A DEAD segment caught ``bus_id`` still holding it: tear down now.
+
+        The failing hardware cannot carry reverse signals, so the release
+        walk is performed immediately rather than one hop per flit period
+        (the INCs detect loss of carrier and free their ports locally).
+        The outcome depends on how far the message got:
+
+        * data fully delivered (TEARDOWN, or DRAINING past the last hop) —
+          the message completes; only the teardown shortcut is observable;
+        * otherwise — the virtual bus is lost, the source is Nacked and
+          the whole message retries with exponential backoff.  Data flits
+          already streamed are re-sent on the retry, so a message is never
+          partially delivered (fault model F4).
+        """
+        bus = self.buses.get(bus_id)
+        if bus is None:
+            return
+        record = bus.record
+        delivered = record.delivered_at is not None
+        if not delivered:
+            record.fault_kills += 1
+            if record.first_fault_at is None:
+                record.first_fault_at = self._now()
+            self.fault_killed += 1
+        self._record("fault_kill", bus.message, bus=bus.bus_id,
+                     segment=segment, lane=lane,
+                     phase=bus.phase.value, delivered=delivered)
+        if bus.phase not in (BusPhase.TEARDOWN, BusPhase.NACK_RETURN):
+            bus.phase = BusPhase.TEARDOWN if delivered else BusPhase.NACK_RETURN
+            bus.signal_position = len(bus.hops) - 1
+            bus.released_from = len(bus.hops)
+            self._stall_ticks.pop(bus.bus_id, None)
+        while bus.bus_id in self.buses and bus.signal_position >= 0:
+            self._release_step(bus)
+        if bus.bus_id in self.buses:  # pragma: no cover - defensive
+            self._finish_release(bus)
 
     # ------------------------------------------------------------------
     # Data streaming

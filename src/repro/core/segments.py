@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.core.status import PortHealth
+from repro.errors import CapacityError, ConfigurationError, FaultError
 
 
 class SegmentGrid:
@@ -32,10 +33,16 @@ class SegmentGrid:
             [None] * lanes for _ in range(nodes)
         ]
         self._occupied_count = 0
+        self._health: list[list[PortHealth]] = [
+            [PortHealth.OK] * lanes for _ in range(nodes)
+        ]
+        self._faulty_count = 0
         # Cumulative segment-ticks are integrated externally; the grid
         # keeps simple structural counters only.
         self.total_claims = 0
         self.total_releases = 0
+        self.total_faults = 0
+        self.total_repairs = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -55,10 +62,38 @@ class SegmentGrid:
         """Fraction of all ``N * k`` segments currently in use."""
         return self._occupied_count / (self.nodes * self.lanes)
 
+    def health(self, segment: int, lane: int) -> PortHealth:
+        """Health of segment ``(segment, lane)``."""
+        return self._health[segment % self.nodes][lane]
+
+    def is_usable(self, segment: int, lane: int) -> bool:
+        """True iff the segment is healthy *and* free (claimable now)."""
+        segment %= self.nodes
+        return (self._health[segment][lane] is PortHealth.OK
+                and self._occupant[segment][lane] is None)
+
+    def faulty_segments(self) -> Iterator[tuple[int, int, PortHealth]]:
+        """Yield ``(segment, lane, health)`` for every non-OK segment."""
+        for segment in range(self.nodes):
+            for lane in range(self.lanes):
+                health = self._health[segment][lane]
+                if health is not PortHealth.OK:
+                    yield segment, lane, health
+
+    def faulty_count(self) -> int:
+        """Number of segments currently DYING or DEAD."""
+        return self._faulty_count
+
     def free_lanes(self, segment: int) -> list[int]:
         """Free lane indices at one segment column, ascending."""
         column = self._occupant[segment % self.nodes]
         return [lane for lane in range(self.lanes) if column[lane] is None]
+
+    def usable_lanes(self, segment: int) -> list[int]:
+        """Healthy free lane indices at one segment column, ascending."""
+        segment %= self.nodes
+        return [lane for lane in range(self.lanes)
+                if self.is_usable(segment, lane)]
 
     def used_lanes(self, segment: int) -> list[int]:
         """Occupied lane indices at one segment column, ascending."""
@@ -105,13 +140,19 @@ class SegmentGrid:
     # Mutation
     # ------------------------------------------------------------------
     def claim(self, segment: int, lane: int, bus_id: int) -> None:
-        """Assign a free segment to a virtual bus."""
+        """Assign a free, healthy segment to a virtual bus."""
         segment %= self.nodes
         current = self._occupant[segment][lane]
         if current is not None:
             raise CapacityError(
                 f"segment ({segment}, {lane}) already carries bus {current}, "
                 f"cannot claim for bus {bus_id}"
+            )
+        if self._health[segment][lane] is not PortHealth.OK:
+            raise FaultError(
+                f"segment ({segment}, {lane}) is "
+                f"{self._health[segment][lane].value}; bus {bus_id} "
+                "cannot claim it"
             )
         self._occupant[segment][lane] = bus_id
         self._occupied_count += 1
@@ -147,5 +188,59 @@ class SegmentGrid:
             raise CapacityError(
                 f"segment ({segment}, {lane - 1}) is occupied; move blocked"
             )
+        if self._health[segment][lane - 1] is not PortHealth.OK:
+            raise FaultError(
+                f"segment ({segment}, {lane - 1}) is "
+                f"{self._health[segment][lane - 1].value}; move blocked"
+            )
         self._occupant[segment][lane] = None
         self._occupant[segment][lane - 1] = bus_id
+
+    def move_up(self, segment: int, lane: int, bus_id: int) -> None:
+        """Move a bus's claim from ``lane`` to ``lane + 1`` (evacuation only).
+
+        Ordinary compaction is strictly downward; this mirror move exists
+        so the fault layer can migrate a bus off a dying segment whose
+        downward neighbour is unavailable.  The target must be free and
+        healthy.
+        """
+        if lane + 1 >= self.lanes:
+            raise CapacityError(f"cannot move above lane {self.lanes - 1}")
+        segment %= self.nodes
+        if self._occupant[segment][lane] != bus_id:
+            raise CapacityError(
+                f"bus {bus_id} does not hold segment ({segment}, {lane})"
+            )
+        if self._occupant[segment][lane + 1] is not None:
+            raise CapacityError(
+                f"segment ({segment}, {lane + 1}) is occupied; move blocked"
+            )
+        if self._health[segment][lane + 1] is not PortHealth.OK:
+            raise FaultError(
+                f"segment ({segment}, {lane + 1}) is "
+                f"{self._health[segment][lane + 1].value}; move blocked"
+            )
+        self._occupant[segment][lane] = None
+        self._occupant[segment][lane + 1] = bus_id
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def set_health(self, segment: int, lane: int, health: PortHealth) -> None:
+        """Transition one segment's health, maintaining fault counters.
+
+        Occupancy is untouched: a DYING segment keeps carrying its current
+        bus until evacuation or teardown; callers (the fault manager) are
+        responsible for killing the occupant of a DEAD segment.
+        """
+        segment %= self.nodes
+        previous = self._health[segment][lane]
+        if previous is health:
+            return
+        if previous is PortHealth.OK:
+            self._faulty_count += 1
+            self.total_faults += 1
+        elif health is PortHealth.OK:
+            self._faulty_count -= 1
+            self.total_repairs += 1
+        self._health[segment][lane] = health

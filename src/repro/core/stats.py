@@ -20,8 +20,16 @@ class RunStats:
         setup: request-to-circuit-established times.
         stalls: per-message header stall tick counts.
         nacks / retries / abandoned: refusal machinery counters.
+        fault_kills / fault_nacks: teardowns and refusals caused by
+            injected faults (degraded-mode accounting).
+        rerouted: messages that hit a fault at least once and still
+            completed — the graceful-degradation success count.
+        recovery: per-message time from first fault hit to eventual
+            completion ("time to recover").
         utilization: time series of segment-occupancy fraction.
         live_buses: time series of concurrently live virtual-bus counts.
+        throughput: sampled delivery-rate series (residual throughput
+            through fault windows), when a rate meter was armed.
         duration: simulated ticks covered by the run.
     """
 
@@ -33,9 +41,14 @@ class RunStats:
     nacks: int = 0
     retries: int = 0
     abandoned: int = 0
+    fault_kills: int = 0
+    fault_nacks: int = 0
+    rerouted: int = 0
+    recovery: Tally = field(default_factory=lambda: Tally("recovery"))
     flits_delivered: int = 0
     utilization: Optional[TimeSeries] = None
     live_buses: Optional[TimeSeries] = None
+    throughput: Optional[TimeSeries] = None
     duration: float = 0.0
     _latencies: list[float] = field(default_factory=list)
 
@@ -46,14 +59,19 @@ class RunStats:
         duration: float,
         utilization: Optional[TimeSeries] = None,
         live_buses: Optional[TimeSeries] = None,
+        throughput: Optional[TimeSeries] = None,
     ) -> "RunStats":
         stats = cls(duration=duration, utilization=utilization,
-                    live_buses=live_buses)
+                    live_buses=live_buses, throughput=throughput)
         for record in records:
             stats.offered += 1
             stats.nacks += record.nacks
             stats.retries += record.retries
+            stats.fault_kills += record.fault_kills
+            stats.fault_nacks += record.fault_nacks
             stats.stalls.add(record.head_stall_ticks)
+            if record.abandoned:
+                stats.abandoned += 1
             if record.finished:
                 stats.completed += 1
                 stats.flits_delivered += record.message.total_flits
@@ -64,6 +82,11 @@ class RunStats:
                 setup = record.setup_time()
                 if setup is not None:
                     stats.setup.add(setup)
+                if record.fault_hit:
+                    stats.rerouted += 1
+                    recovery = record.recovery_time()
+                    if recovery is not None:
+                        stats.recovery.add(recovery)
         return stats
 
     @property
@@ -96,6 +119,16 @@ class RunStats:
             return 0.0
         return self.live_buses.peak()
 
+    def min_windowed_throughput(self) -> float:
+        """Lowest sampled delivery rate (the degraded-mode trough).
+
+        Meaningful only when a throughput rate meter was armed; returns
+        0 otherwise.
+        """
+        if self.throughput is None or not self.throughput.values:
+            return 0.0
+        return min(self.throughput.values)
+
     def summary(self) -> dict[str, float]:
         """Flat dictionary of the headline numbers (for table rendering)."""
         return {
@@ -109,6 +142,11 @@ class RunStats:
             "mean_stall_ticks": self.stalls.mean,
             "nacks": float(self.nacks),
             "retries": float(self.retries),
+            "abandoned": float(self.abandoned),
+            "fault_kills": float(self.fault_kills),
+            "fault_nacks": float(self.fault_nacks),
+            "rerouted": float(self.rerouted),
+            "mean_recovery": self.recovery.mean,
             "throughput_flits_per_tick": self.throughput_flits_per_tick,
             "mean_utilization": self.mean_utilization(),
             "peak_live_buses": self.peak_live_buses(),

@@ -99,6 +99,26 @@ def code_for(input_lane: int, output_lane: int) -> int:
     )
 
 
+class PortHealth(enum.Enum):
+    """Health of one physical bus segment / output port (fault model F1).
+
+    The paper assumes fault-free hardware; the fault-injection subsystem
+    (:mod:`repro.faults`) extends Table 1's vocabulary with an orthogonal
+    health axis.  ``DYING`` announces a scheduled outage: the segment still
+    carries its current virtual bus but accepts no new claims, giving the
+    compaction protocol a make-before-break window to migrate the bus off.
+    ``DEAD`` means the wire is gone; any remaining occupant is torn down.
+    """
+
+    OK = "ok"
+    DYING = "dying"
+    DEAD = "dead"
+
+
+#: Health states in which a segment cannot accept a *new* claim.
+FAULTY_HEALTH = frozenset({PortHealth.DYING, PortHealth.DEAD})
+
+
 class HopSide(enum.Enum):
     """Which end of a moving segment a port sequence belongs to."""
 
@@ -187,6 +207,64 @@ def move_sequences(
             )
         )
     # Destination INC: the PE reads the input lane directly.
+    return sequences
+
+
+def move_sequences_up(
+    upstream_in: int | None,
+    lane: int,
+    downstream_out: int | None,
+    lanes: int,
+) -> list[PortSequence]:
+    """Register sequences for an *evacuation* move from ``lane`` to ``lane + 1``.
+
+    Compaction proper only ever moves downward; the fault-injection layer
+    additionally needs the mirror move so a bus trapped on a dying lane-0
+    segment (or one whose downward neighbour is also dying) can escape
+    upward.  The INC crossbar is symmetric in ±1, so the legality argument
+    of Figure 7 applies verbatim with the lane axis flipped.
+
+    Raises:
+        ProtocolError: if ``lane + 1`` is outside the lane stack or the
+            entry/exit lanes violate the mirrored Figure 7 conditions.
+    """
+    if lane + 1 >= lanes:
+        raise ProtocolError(f"cannot evacuate above lane {lanes - 1}")
+    sequences: list[PortSequence] = []
+
+    if upstream_in is not None:
+        if upstream_in not in (lane, lane + 1):
+            raise ProtocolError(
+                f"evacuation from lane {lane} illegal: bus enters upstream "
+                f"INC at lane {upstream_in}, outside {{{lane}, {lane + 1}}}"
+            )
+        old_code = code_for(upstream_in, lane)
+        new_code = code_for(upstream_in, lane + 1)
+        sequences.append(
+            PortSequence(HopSide.UPSTREAM, lane + 1, (0b000, new_code, new_code))
+        )
+        sequences.append(
+            PortSequence(HopSide.UPSTREAM, lane, (old_code, old_code, 0b000))
+        )
+
+    if downstream_out is not None:
+        if downstream_out not in (lane, lane + 1):
+            raise ProtocolError(
+                f"evacuation from lane {lane} illegal: bus leaves downstream "
+                f"INC at lane {downstream_out}, outside {{{lane}, {lane + 1}}}"
+            )
+        old_code = code_for(lane, downstream_out)
+        new_code = code_for(lane + 1, downstream_out)
+        make_code = old_code | new_code
+        if not is_legal(make_code):
+            raise ProtocolError(
+                f"make-before-break superposition {make_code:03b} is illegal"
+            )
+        sequences.append(
+            PortSequence(
+                HopSide.DOWNSTREAM, downstream_out, (old_code, make_code, new_code)
+            )
+        )
     return sequences
 
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.network import RMBRing
 from repro.core.segments import SegmentGrid
+from repro.core.status import PortHealth
 from repro.core.virtual_bus import VirtualBus
 
 _GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
@@ -27,6 +28,11 @@ def glyph_for(bus_id: int) -> str:
 def render_grid(grid: SegmentGrid, highlight: Optional[int] = None) -> str:
     """Draw the occupancy of every segment, top lane first.
 
+    Faulty segments are drawn with their health, not their occupant:
+    ``X`` for DEAD, ``x`` for DYING-and-free; a DYING segment whose bus
+    has not evacuated yet keeps the bus glyph so the evacuation is
+    visible frame to frame.
+
     Args:
         grid: the segment grid.
         highlight: optionally a bus id to draw as ``*`` instead of its
@@ -39,8 +45,11 @@ def render_grid(grid: SegmentGrid, highlight: Optional[int] = None) -> str:
         cells = []
         for segment in range(grid.nodes):
             occupant = grid.occupant(segment, lane)
-            if occupant is None:
-                cells.append(" .")
+            health = grid.health(segment, lane)
+            if health is PortHealth.DEAD:
+                cells.append(" X")
+            elif occupant is None:
+                cells.append(" x" if health is PortHealth.DYING else " .")
             elif highlight is not None and occupant == highlight:
                 cells.append(" *")
             else:

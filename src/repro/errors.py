@@ -52,3 +52,12 @@ class CapacityError(ReproError):
 
 class WorkloadError(ReproError):
     """A traffic pattern or workload specification is invalid."""
+
+
+class FaultError(ReproError):
+    """An operation touched hardware the fault model has taken away.
+
+    Raised when a segment claim or move targets a DYING/DEAD segment, or
+    when a :class:`repro.faults.FaultPlan` is inconsistent with the ring
+    geometry it is applied to.
+    """

@@ -1,0 +1,34 @@
+"""Fault injection and graceful degradation for the RMB ring.
+
+The paper's ring is built from independent lane segments and per-node
+INCs; this package models what happens when some of them break.  See
+``DESIGN.md`` ("Fault model") for the design decisions F1–F5.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a deterministic,
+  serialisable schedule of segment / lane / INC outages and repairs.
+* :mod:`repro.faults.inject` — :class:`FaultManager`: drives a plan
+  through a live ring's grid, routing, and compaction engines.
+"""
+
+from repro.faults.inject import FaultManager, FaultStats
+from repro.faults.plan import (
+    DEFAULT_GRACE,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    merge,
+    parse_spec,
+    total_failed_segments,
+)
+
+__all__ = [
+    "DEFAULT_GRACE",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultManager",
+    "FaultStats",
+    "merge",
+    "parse_spec",
+    "total_failed_segments",
+]

@@ -1,0 +1,196 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a live ring.
+
+The :class:`FaultManager` is the only component allowed to change segment
+health.  Each *fail* event runs in two stages:
+
+1. at ``event.time`` the targets turn DYING — no new claims are accepted
+   (:meth:`SegmentGrid.claim` rejects them) and the compaction engine's
+   evacuation pass starts migrating any established occupant off the
+   segment make-before-break;
+2. ``event.grace`` ticks later the targets turn DEAD — a bus still holding
+   the segment loses its carrier and is torn down via
+   :meth:`BusManager.fail_bus` (delivered messages complete, undelivered
+   ones are Nacked back to the source for retry).
+
+INC failures additionally park the INC's compaction logic
+(``dropped_incs``): its output column can no longer switch lanes, but its
+cycle controller keeps running so the odd/even handshake — and with it
+Lemma 1 — survives the dropout (fault model F5).
+
+Repair events return targets to OK, un-park dropped INCs, and reset the
+lane-monotonicity tracker (an earlier evacuation may have legally moved
+hops *up*; after repair the downward-only rule re-arms from the current
+placement).
+
+A per-segment epoch counter guards the delayed kill: if a segment is
+repaired (or re-failed) between DYING and its scheduled DEAD transition,
+the stale kill is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.segments import SegmentGrid
+from repro.core.status import PortHealth
+from repro.errors import FaultError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class FaultStats:
+    """Counters describing what the fault layer actually did."""
+
+    segments_failed: int = 0        # OK -> DYING transitions applied
+    segments_killed: int = 0        # DYING -> DEAD transitions applied
+    segments_repaired: int = 0      # -> OK transitions applied
+    buses_killed: int = 0           # occupants torn down at DEAD time
+    incs_dropped: int = 0
+    incs_restored: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "segments_failed": self.segments_failed,
+            "segments_killed": self.segments_killed,
+            "segments_repaired": self.segments_repaired,
+            "buses_killed": self.buses_killed,
+            "incs_dropped": self.incs_dropped,
+            "incs_restored": self.incs_restored,
+        }
+
+
+class FaultManager:
+    """Arms a fault plan against one ring's simulator and engines.
+
+    Args:
+        plan: the validated schedule to apply.
+        sim: the ring's simulator (events are scheduled on it).
+        grid: the segment grid whose health states are driven.
+        routing: the ring's :class:`~repro.core.routing.BusManager`
+            (used to tear down occupants of newly dead segments).
+        compaction: the ring's compaction engine (INC dropouts are
+            registered in its ``dropped_incs`` set).
+        monitor: optional :class:`~repro.core.invariants.InvariantMonitor`;
+            its monotonicity tracker is reset on repairs.
+        trace: optional recorder; emits ``fault_dying`` / ``fault_dead`` /
+            ``fault_repair`` / ``inc_drop`` / ``inc_restore`` entries.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sim: Simulator,
+        grid: SegmentGrid,
+        routing,
+        compaction=None,
+        monitor=None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        plan.validate(grid.nodes, grid.lanes)
+        self.plan = plan
+        self.sim = sim
+        self.grid = grid
+        self.routing = routing
+        self.compaction = compaction
+        self.monitor = monitor
+        self.trace = trace
+        self.stats = FaultStats()
+        self._epoch: dict[tuple[int, int], int] = {}
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every plan event on the simulator (idempotent)."""
+        if self._armed:
+            raise FaultError("fault plan already armed")
+        self._armed = True
+        for event in self.plan.sorted_events():
+            fire_at = max(event.time, self.sim.now)
+            self.sim.schedule_at(
+                fire_at,
+                lambda e=event: self._apply(e),
+                label=f"fault.{event.action}",
+            )
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        if event.action == "fail":
+            self._fail(event)
+        else:
+            self._repair(event)
+
+    def _fail(self, event: FaultEvent) -> None:
+        if event.kind is FaultKind.INC and self.compaction is not None:
+            inc = event.segment % self.grid.nodes
+            if inc not in self.compaction.dropped_incs:
+                self.compaction.dropped_incs.add(inc)
+                self.stats.incs_dropped += 1
+                self._record("inc_drop", f"inc={inc}")
+        for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):
+            if self.grid.health(segment, lane) is not PortHealth.OK:
+                continue  # already failing or dead; first announcement wins
+            self.grid.set_health(segment, lane, PortHealth.DYING)
+            self.stats.segments_failed += 1
+            epoch = self._bump_epoch(segment, lane)
+            self._record("fault_dying", f"segment=({segment}, {lane})",
+                         grace=event.grace)
+            if event.grace <= 0:
+                self._kill(segment, lane, epoch)
+            else:
+                self.sim.schedule(
+                    event.grace,
+                    lambda s=segment, l=lane, e=epoch: self._kill(s, l, e),
+                    label="fault.kill",
+                )
+
+    def _kill(self, segment: int, lane: int, epoch: int) -> None:
+        if self._epoch.get((segment, lane)) != epoch:
+            return  # repaired or re-failed since the DYING announcement
+        if self.grid.health(segment, lane) is not PortHealth.DYING:
+            return
+        self.grid.set_health(segment, lane, PortHealth.DEAD)
+        self.stats.segments_killed += 1
+        occupant = self.grid.occupant(segment, lane)
+        self._record("fault_dead", f"segment=({segment}, {lane})",
+                     occupant=occupant)
+        if occupant is not None:
+            self.routing.fail_bus(occupant, segment, lane)
+            self.stats.buses_killed += 1
+
+    def _repair(self, event: FaultEvent) -> None:
+        if event.kind is FaultKind.INC and self.compaction is not None:
+            inc = event.segment % self.grid.nodes
+            if inc in self.compaction.dropped_incs:
+                self.compaction.dropped_incs.discard(inc)
+                self.stats.incs_restored += 1
+                self._record("inc_restore", f"inc={inc}")
+        for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):
+            if self.grid.health(segment, lane) is PortHealth.OK:
+                continue
+            self.grid.set_health(segment, lane, PortHealth.OK)
+            self.stats.segments_repaired += 1
+            self._bump_epoch(segment, lane)
+            self._record("fault_repair", f"segment=({segment}, {lane})")
+        if self.monitor is not None:
+            # Evacuations may have moved hops upward while the fault stood;
+            # re-arm the downward-only tracker from the current placement.
+            self.monitor.monotonicity.reset()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _bump_epoch(self, segment: int, lane: int) -> int:
+        key = (segment, lane)
+        self._epoch[key] = self._epoch.get(key, 0) + 1
+        return self._epoch[key]
+
+    def _record(self, kind: str, subject: str, **detail) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, kind, subject, **detail)

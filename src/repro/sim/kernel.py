@@ -211,6 +211,30 @@ def every(
     return stop
 
 
+def at_times(
+    sim: Simulator,
+    times: Iterable[float],
+    callback: Callable[[float], Any],
+    label: str = "",
+) -> list[Event]:
+    """Schedule ``callback(time)`` at each absolute time; return the events.
+
+    Used by the fault-injection layer to arm a :class:`FaultPlan`'s event
+    schedule in one call.  Times at or before the current clock fire at
+    the current time (a plan may legitimately start at t=0).  The returned
+    events can be cancelled individually via :meth:`Simulator.cancel`.
+    """
+    events = []
+    for time in sorted(times):
+        fire_at = max(time, sim.now)
+
+        def fire(at: float = time) -> None:
+            callback(at)
+
+        events.append(sim.schedule_at(fire_at, fire, label=label))
+    return events
+
+
 def run_all(simulators: Iterable[Simulator], until: float) -> None:
     """Run several independent simulators to the same horizon (test helper)."""
     for simulator in simulators:

@@ -126,6 +126,38 @@ class TimeSeries:
         return max(self.values) if self.values else 0.0
 
 
+class RateMeter:
+    """Samples the *rate of change* of a monotone counter into a series.
+
+    Every ``period`` ticks the meter reads ``observe_total()`` (e.g.
+    cumulative flits delivered) and records the per-tick rate over the
+    window just ended.  The degraded-mode experiments use this to watch
+    residual throughput through fault and repair events.
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 observe_total: Callable[[], float],
+                 name: str = "rate") -> None:
+        self.series = TimeSeries(name=name)
+        self._observe = observe_total
+        self._period = period
+        self._last = observe_total()
+        self._stop = every(sim, period, lambda: self._sample(sim.now),
+                           label=f"{name}.sample")
+
+    def _sample(self, now: float) -> None:
+        current = self._observe()
+        self.series.record(now, (current - self._last) / self._period)
+        self._last = current
+
+    def stop(self) -> None:
+        self._stop()
+
+    def minimum(self) -> float:
+        """Lowest rate observed (0 when nothing was sampled)."""
+        return min(self.series.values) if self.series.values else 0.0
+
+
 class PeriodicProbe:
     """Samples ``observe()`` into a :class:`TimeSeries` every ``period``.
 
