@@ -87,6 +87,8 @@ _RAW = [
      "bench_load_sweep.py", "new"),
     ("E26", "graceful degradation under faults", "DESIGN.md fault model",
      "bench_fault_sweep.py", "new"),
+    ("E27", "admission control under overload", "DESIGN.md supervision model",
+     "bench_admission_overload.py", "new"),
 ]
 
 #: Every reproduced artefact, ordered as in DESIGN.md §5.

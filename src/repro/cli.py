@@ -64,6 +64,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-retries", type=int, default=None,
                      help="per-message retry cap (default: unlimited; "
                           "8 when a fault plan is given)")
+    run.add_argument("--admission-limit", type=int, default=None,
+                     metavar="N",
+                     help="cap on outstanding requests per source INC")
+    run.add_argument("--admission-policy", choices=("defer", "shed"),
+                     default="defer",
+                     help="what happens to over-limit submissions")
+    run.add_argument("--watchdog", action="store_true",
+                     help="arm the no-progress watchdog (default windows)")
+    run.add_argument("--checkpoint-every", type=float, default=None,
+                     metavar="TICKS",
+                     help="write a snapshot every TICKS simulated ticks")
+    run.add_argument("--checkpoint-file",
+                     default="rmb-checkpoint-{tick}.snap", metavar="PATH",
+                     help="snapshot path template; '{tick}' expands to the "
+                          "snapshot time (default: %(default)s)")
+    run.add_argument("--resume-from", default=None, metavar="PATH",
+                     help="restore a snapshot and run it to completion "
+                          "(other run options are taken from the snapshot)")
+    run.add_argument("--stats-json", default=None, metavar="PATH",
+                     help="also write the stats summary as JSON")
 
     race = commands.add_parser(
         "race", help="race one permutation across all networks")
@@ -95,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 def command_run(args: argparse.Namespace) -> int:
+    if args.resume_from:
+        return _command_resume(args)
     if args.rate <= 0.0:
         print("--rate must be positive")
         return 1
@@ -116,9 +138,15 @@ def command_run(args: argparse.Namespace) -> int:
     config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
                        cycle_period=2.0,
                        max_retries=max_retries,
+                       admission_limit=args.admission_limit,
+                       admission_policy=args.admission_policy,
                        synchronous=not args.asynchronous)
+    watchdog = None
+    if args.watchdog:
+        from repro.supervision import WatchdogConfig
+        watchdog = WatchdogConfig()
     ring = RMBRing(config, seed=args.seed, probe_period=8.0,
-                   fault_plan=fault_plan)
+                   fault_plan=fault_plan, watchdog=watchdog)
     rng = RandomStream(args.seed, name="cli")
     duration = max(1, int(args.messages / (args.rate * args.nodes)))
     schedule = bernoulli_schedule(
@@ -128,20 +156,47 @@ def command_run(args: argparse.Namespace) -> int:
               "or --messages")
         return 1
     replay_on_ring(ring, schedule)
-    ring.run(schedule.horizon() + 1)
+    mode = "asynchronous" if args.asynchronous else "synchronous"
+    title = (f"RMB N={args.nodes} k={args.lanes} ({mode}), "
+             f"{len(schedule)} messages @ rate {args.rate}")
+    run_until = ring.sim.now + schedule.horizon() + 1
+    if args.checkpoint_every is not None:
+        from repro.supervision import PeriodicCheckpointer
+        # run_until lets a resumed run stop at the same absolute horizon
+        # as this one; the title reproduces the report header verbatim.
+        PeriodicCheckpointer(
+            ring, args.checkpoint_every, args.checkpoint_file,
+            meta={"run_until": run_until, "title": title},
+        )
+    ring.sim.run(until=run_until)
     ring.drain()
+    _report_run(ring, title, args.stats_json)
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotError
+    from repro.supervision import resume_run
+    try:
+        ring, manifest = resume_run(args.resume_from)
+    except (OSError, SnapshotError) as exc:
+        print(f"cannot resume from {args.resume_from}: {exc}")
+        return 1
+    meta = manifest.get("meta", {})
+    title = meta.get("title", f"resumed from {args.resume_from}")
+    _report_run(ring, title, args.stats_json)
+    return 0
+
+
+def _report_run(ring: RMBRing, title: str,
+                stats_json: Optional[str]) -> None:
     stats = ring.stats()
     rows = [{"metric": key, "value": round(value, 3)}
             for key, value in stats.summary().items()]
-    mode = "asynchronous" if args.asynchronous else "synchronous"
-    print(render_table(
-        rows,
-        title=(f"RMB N={args.nodes} k={args.lanes} ({mode}), "
-               f"{len(schedule)} messages @ rate {args.rate}"),
-    ))
+    print(render_table(rows, title=title))
     if ring.faults is not None:
         print("\nfault plan:")
-        print(fault_plan.describe())
+        print(ring.faults.plan.describe())
         fault_rows = [{"metric": key, "value": value}
                       for key, value in ring.faults.stats.summary().items()]
         fault_rows.append({"metric": "evacuation_moves",
@@ -149,7 +204,14 @@ def command_run(args: argparse.Namespace) -> int:
         fault_rows.append({"metric": "min_windowed_throughput",
                            "value": round(stats.min_windowed_throughput(), 3)})
         print(render_table(fault_rows, title="degraded-mode accounting"))
-    return 0
+    if ring.watchdog is not None and len(ring.watchdog.incidents):
+        print("\nwatchdog incidents:")
+        print(ring.watchdog.incidents.render())
+    if stats_json is not None:
+        import json
+        with open(stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def command_race(args: argparse.Namespace) -> int:

@@ -43,6 +43,15 @@ from repro.errors import ProtocolError
 from repro.sim.trace import TraceRecorder
 
 
+def _zero_time() -> float:
+    """Default ``now`` source for engines built without a simulator.
+
+    A module-level function rather than a lambda so a standalone engine
+    still pickles (checkpoint/restore walks the whole ring object graph).
+    """
+    return 0.0
+
+
 @dataclass(frozen=True)
 class Move:
     """One committed compaction move (for traces and condition accounting)."""
@@ -86,7 +95,7 @@ class CompactionEngine:
         self.grid = grid
         self.buses = buses
         self.trace = trace
-        self._now = now if now is not None else (lambda: 0.0)
+        self._now = now if now is not None else _zero_time
         self.stats = CompactionStats()
         self.recent_moves: list[Move] = []
         self.keep_move_log = False

@@ -57,6 +57,18 @@ class RMBConfig:
             inputs and outputs").  All insertions still share the top
             lane, so extra ports pay serialised injection.
         rx_ports: concurrent incoming messages a PE interface supports.
+        admission_limit: per-INC cap on *outstanding* requests — queued at
+            the PE, in flight as a virtual bus, or waiting out a retry
+            timer.  ``None`` (the default) admits everything, which under
+            overload grows queues and latency without bound.  With a cap,
+            a source whose outstanding count has reached the limit has new
+            submissions shed or deferred per ``admission_policy``, so the
+            network's internal load — and hence its latency — stays
+            bounded (supervision design decision S2).
+        admission_policy: ``"defer"`` holds over-limit submissions in a
+            per-INC holding queue and admits them as the source's
+            outstanding count drops; ``"shed"`` refuses them outright
+            (the record is marked ``shed`` and counted in the run stats).
         compact_head_while_extending: whether compaction may move the
             *head* hop of a bus whose header is still travelling.  The
             paper is ambiguous; moving it maximises packing but drags a
@@ -86,6 +98,8 @@ class RMBConfig:
     compact_head_while_extending: bool = False
     tx_ports: int = 1
     rx_ports: int = 1
+    admission_limit: int | None = None
+    admission_policy: str = "defer"
 
     def __post_init__(self) -> None:
         if self.nodes < 4:
@@ -123,6 +137,13 @@ class RMBConfig:
             raise ConfigurationError(
                 "tx_ports cannot exceed the lane count: all insertions "
                 "share the single top-lane segment at the source INC"
+            )
+        if self.admission_limit is not None and self.admission_limit < 1:
+            raise ConfigurationError("admission_limit must be >= 1 or None")
+        if self.admission_policy not in ("defer", "shed"):
+            raise ConfigurationError(
+                f"admission_policy must be 'defer' or 'shed', "
+                f"got {self.admission_policy!r}"
             )
 
     @property

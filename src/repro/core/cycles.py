@@ -73,7 +73,7 @@ class CycleController:
         self._trace = trace
         self.left: Optional["CycleController"] = None
         self.right: Optional["CycleController"] = None
-        self._clock_time: Callable[[], float] = lambda: 0.0
+        self._domain: Optional[ClockDomain] = None
 
     def wire(self, left: "CycleController", right: "CycleController") -> None:
         """Connect the neighbour status wires."""
@@ -82,8 +82,12 @@ class CycleController:
 
     def attach_clock(self, domain: ClockDomain) -> None:
         """Drive the FSM from a clock domain (one evaluation per edge)."""
-        self._clock_time = lambda: domain.sim.now
+        self._domain = domain
         domain.subscribe(self.on_edge)
+
+    def _clock_time(self) -> float:
+        """Trace timestamp source: the domain's simulator clock if wired."""
+        return self._domain.sim.now if self._domain is not None else 0.0
 
     # ------------------------------------------------------------------
     def on_edge(self, _edge_index: int) -> None:

@@ -168,6 +168,9 @@ class MessageRecord:
     fault_nacks: int = 0                     # refusals due to dead hardware
     first_fault_at: Optional[float] = None   # first fault that hit this message
     abandoned: bool = False                  # gave up after max_retries
+    shed: bool = False                       # refused by admission control
+    deferred: int = 0                        # times held in the admission queue
+    backoff_floor: int = 0                   # attempts forgiven by the watchdog
 
     @property
     def finished(self) -> bool:

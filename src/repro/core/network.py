@@ -26,10 +26,11 @@ from repro.core.stats import RunStats
 from repro.core.virtual_bus import VirtualBus
 from repro.errors import ProtocolError
 from repro.sim.clock import skewed_domains
-from repro.sim.kernel import Simulator, every
+from repro.sim.kernel import SimClock, SimScheduler, Simulator, every
 from repro.sim.monitor import RateMeter, TimeSeries
 from repro.sim.rng import SeedSequence
 from repro.sim.trace import TraceRecorder
+from repro.supervision.watchdog import Watchdog, WatchdogConfig
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> faults cycle
     from repro.faults.plan import FaultPlan
@@ -56,6 +57,10 @@ class RMBRing:
         fault_plan: optional :class:`~repro.faults.plan.FaultPlan`; when
             given, a :class:`~repro.faults.inject.FaultManager` is built
             and armed so the plan's outages fire during the run.
+        watchdog: optional :class:`~repro.supervision.watchdog.
+            WatchdogConfig`; when given, a no-progress watchdog is armed
+            on the run's simulator and its incidents flow into
+            :meth:`stats`.
         name: label prefix for trace subjects and clock names.
     """
 
@@ -68,6 +73,7 @@ class RMBRing:
         check_invariants: bool = True,
         probe_period: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        watchdog: Optional[WatchdogConfig] = None,
         name: str = "rmb",
     ) -> None:
         self.config = config
@@ -81,14 +87,14 @@ class RMBRing:
             config,
             self.grid,
             self.buses,
-            now=lambda: self.sim.now,
-            schedule=lambda delay, fn: self.sim.schedule(delay, fn),
+            now=SimClock(self.sim),
+            schedule=SimScheduler(self.sim, label=f"{name}.retry"),
             rng=self.seeds.stream("retry"),
             trace=self.trace,
         )
         self.compaction = CompactionEngine(
             config, self.grid, self.buses,
-            trace=self.trace, now=lambda: self.sim.now,
+            trace=self.trace, now=SimClock(self.sim),
         )
         self.controllers: Optional[list[CycleController]] = None
         self._global_driver: Optional[GlobalCycleDriver] = None
@@ -126,9 +132,15 @@ class RMBRing:
             if probe_period is not None:
                 self.throughput_meter = RateMeter(
                     self.sim, probe_period,
-                    lambda: float(self.routing.flits_delivered),
+                    self._flits_delivered_total,
                     name=f"{name}.throughput",
                 )
+        self.watchdog: Optional[Watchdog] = None
+        if watchdog is not None:
+            self.watchdog = Watchdog(
+                self.sim, self.routing, config=watchdog,
+                controllers=self.controllers, name=f"{name}.watchdog",
+            )
 
     def _build_cycle_machinery(self) -> None:
         config = self.config
@@ -191,7 +203,11 @@ class RMBRing:
                     f"ring failed to drain within {max_ticks} ticks; "
                     f"{self.routing.pending()} requests outstanding"
                 )
-            self.sim.run_ticks(chunk)
+            # Advance to the next *absolute* chunk boundary (not now +
+            # chunk): a run resumed from a checkpoint then stops at the
+            # same final time as the uninterrupted run, which keeps
+            # checkpoint/restore bit-exact (stats include duration).
+            self.sim.run(until=(self.sim.now // chunk + 1) * chunk)
         return self.sim.now - start
 
     # ------------------------------------------------------------------
@@ -200,6 +216,9 @@ class RMBRing:
     def _sample_probes(self) -> None:
         self.utilization.record(self.sim.now, self.grid.utilization())
         self.live_buses.record(self.sim.now, float(self.routing.live_bus_count()))
+
+    def _flits_delivered_total(self) -> float:
+        return float(self.routing.flits_delivered)
 
     def cycle_count(self) -> int:
         """Current (max) compaction cycle index."""
@@ -217,6 +236,11 @@ class RMBRing:
             live_buses=self.live_buses,
             throughput=(self.throughput_meter.series
                         if self.throughput_meter is not None else None),
+            incidents=(self.watchdog.incidents
+                       if self.watchdog is not None else None),
+            admission=(self.routing.admission.summary()
+                       if self.routing.admission.enabled else None),
+            forced_teardowns=self.routing.forced_teardowns,
         )
 
     def check_now(self) -> None:
@@ -306,7 +330,9 @@ class TwoRingRMB:
                 raise ProtocolError(
                     f"two-ring RMB failed to drain within {max_ticks} ticks"
                 )
-            self.sim.run_ticks(chunk)
+            # Absolute chunk boundaries, for the same checkpoint/restore
+            # reason as RMBRing.drain.
+            self.sim.run(until=(self.sim.now // chunk + 1) * chunk)
         return self.sim.now - start
 
     def stats(self) -> RunStats:

@@ -36,6 +36,25 @@ from repro.core.virtual_bus import BusPhase, VirtualBus
 from repro.errors import ProtocolError, RoutingError
 from repro.sim.rng import RandomStream
 from repro.sim.trace import TraceRecorder
+from repro.supervision.admission import ADMIT, SHED, AdmissionController
+
+
+class _RetryRequeue:
+    """Picklable retry-timer callback: put a message back in its queue.
+
+    A class instead of a closure so pending retry timers — which live in
+    the kernel's event queue — survive checkpoint pickling.
+    """
+
+    def __init__(self, engine: "RoutingEngine", message: Message) -> None:
+        self._engine = engine
+        self._message = message
+
+    def __call__(self) -> None:
+        engine, message = self._engine, self._message
+        engine._awaiting_retry -= 1
+        engine._awaiting_retry_by_node[message.source] -= 1
+        engine._queues[message.source].append(message)
 
 
 class RoutingEngine:
@@ -62,6 +81,13 @@ class RoutingEngine:
         self._queues: list[Deque[Message]] = [deque() for _ in range(config.nodes)]
         self._tx_active = [0] * config.nodes
         self._rx_active = [0] * config.nodes
+        # Admission control (supervision S2): over-limit submissions are
+        # shed or parked per source INC until outstanding load drops.
+        self.admission = AdmissionController(config.admission_limit,
+                                             config.admission_policy)
+        self._deferred: list[Deque[Message]] = [deque()
+                                                for _ in range(config.nodes)]
+        self._awaiting_retry_by_node = [0] * config.nodes
         # Receive-port reservations per live bus: the nodes (taps plus the
         # final destination) whose RX port this bus currently holds.
         self._rx_holders: dict[int, set[int]] = {}
@@ -77,6 +103,8 @@ class RoutingEngine:
         self.abandoned = 0
         self.fault_nacked = 0
         self.fault_killed = 0
+        self.shed = 0
+        self.forced_teardowns = 0
         self.flits_delivered = 0
         self._awaiting_retry = 0
         #: Optional callback fired when a message fully completes (its
@@ -88,7 +116,13 @@ class RoutingEngine:
     # Public interface
     # ------------------------------------------------------------------
     def submit(self, message: Message) -> MessageRecord:
-        """Queue a message for transmission; returns its live record."""
+        """Queue a message for transmission; returns its live record.
+
+        Admission control (when configured) is applied here: a source
+        whose outstanding count has reached the cap has the submission
+        shed (record marked, never queued) or deferred into a per-INC
+        holding queue that drains as capacity frees.
+        """
         self._validate(message)
         if message.message_id in self.records:
             raise RoutingError(
@@ -97,19 +131,39 @@ class RoutingEngine:
         message.validate_multicast_order(self.config.nodes)
         record = MessageRecord(message=message)
         self.records[message.message_id] = record
-        self._queues[message.source].append(message)
         self._record("request", message, source=message.source,
                      destination=message.destination)
+        verdict = self.admission.decide(self.outstanding(message.source))
+        if verdict == ADMIT:
+            self._queues[message.source].append(message)
+        elif verdict == SHED:
+            record.shed = True
+            self.shed += 1
+            self._record("shed", message, node=message.source)
+        else:
+            record.deferred += 1
+            self._deferred[message.source].append(message)
+            self._record("defer", message, node=message.source)
         return record
 
+    def outstanding(self, node: int) -> int:
+        """Requests ``node`` currently has queued, in flight, or backing off.
+
+        This is the quantity the admission cap bounds (deferred requests
+        are parked *before* admission and deliberately excluded).
+        """
+        return (len(self._queues[node]) + self._tx_active[node]
+                + self._awaiting_retry_by_node[node])
+
     def pending(self) -> int:
-        """Requests queued, in flight, or awaiting a retry timer.
+        """Requests queued, deferred, in flight, or awaiting a retry timer.
 
         Zero means the network is fully drained: abandoned messages (the
-        ``max_retries`` path) are not pending.
+        ``max_retries`` path) and shed messages are not pending.
         """
         queued = sum(len(queue) for queue in self._queues)
-        return queued + len(self.buses) + self._awaiting_retry
+        deferred = sum(len(queue) for queue in self._deferred)
+        return queued + deferred + len(self.buses) + self._awaiting_retry
 
     def live_bus_count(self) -> int:
         """Virtual buses currently holding at least one segment."""
@@ -132,6 +186,7 @@ class RoutingEngine:
     # Admission
     # ------------------------------------------------------------------
     def _admit(self) -> None:
+        self._release_deferred()
         for node in range(self.config.nodes):
             if self._tx_active[node] >= self.config.tx_ports:
                 continue
@@ -150,6 +205,18 @@ class RoutingEngine:
                 continue
             message = queue.popleft()
             self._inject(message, lane)
+
+    def _release_deferred(self) -> None:
+        """Move deferred requests into the real queues as capacity frees."""
+        if not self.admission.enabled:
+            return
+        for node in range(self.config.nodes):
+            held = self._deferred[node]
+            while held and self.admission.may_release(self.outstanding(node)):
+                message = held.popleft()
+                self.admission.note_released()
+                self._queues[node].append(message)
+                self._record("admit_deferred", message, node=node)
 
     def _insertion_lane(self, node: int) -> Optional[int]:
         """Lane new requests enter on at ``node``: the highest healthy lane.
@@ -378,18 +445,52 @@ class RoutingEngine:
             self._record("abandon", message)
             return
         record.retries += 1
+        # backoff_floor is the number of attempts forgiven by a watchdog
+        # reset_backoff() call: the exponent restarts from there.
         delay = self.config.retry_delay * (
-            self.config.retry_backoff ** max(0, attempts - 1)
+            self.config.retry_backoff
+            ** max(0, attempts - record.backoff_floor - 1)
         )
         if self._rng is not None and self.config.retry_jitter > 0:
             delay += self._rng.uniform(0, self.config.retry_jitter * delay)
         self._awaiting_retry += 1
+        self._awaiting_retry_by_node[message.source] += 1
+        self._schedule(delay, _RetryRequeue(self, message))
 
-        def requeue() -> None:
-            self._awaiting_retry -= 1
-            self._queues[message.source].append(message)
+    # ------------------------------------------------------------------
+    # Supervision hooks (watchdog recovery actions)
+    # ------------------------------------------------------------------
+    def force_teardown(self, bus_id: int) -> bool:
+        """Watchdog recovery: Nack a stalled bus back to its source.
 
-        self._schedule(delay, requeue)
+        Counts as a refusal (the source retries with backoff) so the
+        message is never lost, only delayed.  Returns ``False`` when the
+        bus is gone or already releasing — forcing it again would corrupt
+        the release walk.
+        """
+        bus = self.buses.get(bus_id)
+        if bus is None or bus.phase in (BusPhase.TEARDOWN,
+                                        BusPhase.NACK_RETURN,
+                                        BusPhase.DONE, BusPhase.REFUSED):
+            return False
+        self.forced_teardowns += 1
+        bus.record.nacks += 1
+        self.nacked += 1
+        self._record("watchdog_teardown", bus.message, bus=bus.bus_id,
+                     phase=bus.phase.value)
+        self._begin_nack_return(bus, timed_out=False)
+        return True
+
+    def reset_backoff(self, message_id: int) -> None:
+        """Watchdog recovery: forgive a message's accumulated backoff.
+
+        The next retry delay restarts from ``retry_delay`` instead of the
+        current exponential step; an already-armed retry timer is not
+        touched (rescheduling it would break checkpoint determinism).
+        """
+        record = self.records[message_id]
+        record.backoff_floor = (record.nacks + record.fault_nacks
+                                + record.fault_kills + record.retries)
 
     # ------------------------------------------------------------------
     # Fault handling

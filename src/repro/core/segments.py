@@ -121,6 +121,25 @@ class SegmentGrid:
                 if bus_id is not None:
                     yield segment, lane, bus_id
 
+    def state_signature(self) -> tuple:
+        """A hashable digest of the complete grid state.
+
+        Covers occupancy, per-segment health, and the structural
+        counters.  Two grids with equal signatures are observationally
+        identical; the checkpoint tests compare restored rings to their
+        originals through this.
+        """
+        return (
+            self.nodes,
+            self.lanes,
+            tuple(tuple(row) for row in self._occupant),
+            tuple(tuple(cell.value for cell in row) for row in self._health),
+            self.total_claims,
+            self.total_releases,
+            self.total_faults,
+            self.total_repairs,
+        )
+
     def is_packed(self, segment: int) -> bool:
         """True iff the column's occupied lanes are exactly ``0..m-1``.
 

@@ -7,6 +7,7 @@ from typing import Iterable, Optional
 
 from repro.core.flits import MessageRecord
 from repro.sim.monitor import Tally, TimeSeries, percentile
+from repro.supervision.incidents import IncidentLog
 
 
 @dataclass
@@ -26,6 +27,15 @@ class RunStats:
             completed — the graceful-degradation success count.
         recovery: per-message time from first fault hit to eventual
             completion ("time to recover").
+        shed: submissions refused outright by admission control.
+        deferrals: times a submission was parked in an admission
+            holding queue (one message may defer once at most, so this
+            is also the count of deferred messages).
+        forced_teardowns: stalled buses the watchdog Nacked back.
+        incidents: the watchdog's structured incident log, when one was
+            armed (what went wrong and what was done about it).
+        admission: the admission controller's counter summary, when a
+            cap was configured.
         utilization: time series of segment-occupancy fraction.
         live_buses: time series of concurrently live virtual-bus counts.
         throughput: sampled delivery-rate series (residual throughput
@@ -45,6 +55,11 @@ class RunStats:
     fault_nacks: int = 0
     rerouted: int = 0
     recovery: Tally = field(default_factory=lambda: Tally("recovery"))
+    shed: int = 0
+    deferrals: int = 0
+    forced_teardowns: int = 0
+    incidents: Optional[IncidentLog] = None
+    admission: Optional[dict[str, float]] = None
     flits_delivered: int = 0
     utilization: Optional[TimeSeries] = None
     live_buses: Optional[TimeSeries] = None
@@ -60,16 +75,27 @@ class RunStats:
         utilization: Optional[TimeSeries] = None,
         live_buses: Optional[TimeSeries] = None,
         throughput: Optional[TimeSeries] = None,
+        incidents: Optional[IncidentLog] = None,
+        admission: Optional[dict[str, float]] = None,
+        forced_teardowns: int = 0,
     ) -> "RunStats":
         stats = cls(duration=duration, utilization=utilization,
-                    live_buses=live_buses, throughput=throughput)
+                    live_buses=live_buses, throughput=throughput,
+                    incidents=incidents, admission=admission,
+                    forced_teardowns=forced_teardowns)
         for record in records:
             stats.offered += 1
+            if record.shed:
+                # Never queued: nothing below applies (and a zero stall
+                # sample would skew the tally).
+                stats.shed += 1
+                continue
             stats.nacks += record.nacks
             stats.retries += record.retries
             stats.fault_kills += record.fault_kills
             stats.fault_nacks += record.fault_nacks
             stats.stalls.add(record.head_stall_ticks)
+            stats.deferrals += record.deferred
             if record.abandoned:
                 stats.abandoned += 1
             if record.finished:
@@ -147,6 +173,11 @@ class RunStats:
             "fault_nacks": float(self.fault_nacks),
             "rerouted": float(self.rerouted),
             "mean_recovery": self.recovery.mean,
+            "shed": float(self.shed),
+            "deferrals": float(self.deferrals),
+            "forced_teardowns": float(self.forced_teardowns),
+            "incidents": float(len(self.incidents))
+            if self.incidents is not None else 0.0,
             "throughput_flits_per_tick": self.throughput_flits_per_tick,
             "mean_utilization": self.mean_utilization(),
             "peak_live_buses": self.peak_live_buses(),

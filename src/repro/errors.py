@@ -54,6 +54,14 @@ class WorkloadError(ReproError):
     """A traffic pattern or workload specification is invalid."""
 
 
+class SnapshotError(ReproError):
+    """A checkpoint snapshot could not be written, read, or understood.
+
+    Raised for malformed snapshot files, version mismatches, and attempts
+    to snapshot state the pickler cannot capture faithfully.
+    """
+
+
 class FaultError(ReproError):
     """An operation touched hardware the fault model has taken away.
 

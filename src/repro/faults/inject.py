@@ -29,6 +29,7 @@ the stale kill is a no-op.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -111,9 +112,12 @@ class FaultManager:
         self._armed = True
         for event in self.plan.sorted_events():
             fire_at = max(event.time, self.sim.now)
+            # functools.partial over a bound method (not a lambda): armed
+            # fault events live in the kernel queue and must survive a
+            # checkpoint pickle.
             self.sim.schedule_at(
                 fire_at,
-                lambda e=event: self._apply(e),
+                functools.partial(self._apply, event),
                 label=f"fault.{event.action}",
             )
 
@@ -146,7 +150,7 @@ class FaultManager:
             else:
                 self.sim.schedule(
                     event.grace,
-                    lambda s=segment, l=lane, e=epoch: self._kill(s, l, e),
+                    functools.partial(self._kill, segment, lane, epoch),
                     label="fault.kill",
                 )
 

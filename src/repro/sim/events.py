@@ -11,7 +11,6 @@ identical traces.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -58,7 +57,11 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        # A plain integer sequence rather than itertools.count: the queue
+        # is part of a run's checkpointable state, and the counter must
+        # survive pickling with its exact value so post-restore pushes get
+        # the same sequence numbers an uninterrupted run would assign.
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -75,7 +78,8 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Insert a callback at ``time`` and return its :class:`Event`."""
-        event = Event(time, priority, next(self._counter), callback, label)
+        event = Event(time, priority, self._next_seq, callback, label)
+        self._next_seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -109,6 +113,16 @@ class EventQueue:
         to keep the live count accurate.
         """
         self._live -= 1
+
+    def peek_events(self, count: int) -> list[Event]:
+        """The next ``count`` live events in firing order, without popping.
+
+        Used by the kernel's livelock diagnostics: when ``max_events``
+        trips, the labels of the imminent events usually identify the
+        component that is rescheduling itself forever.
+        """
+        live = [event for event in self._heap if not event.cancelled]
+        return heapq.nsmallest(count, live)
 
     def drain(self) -> Iterator[Event]:
         """Yield and remove all live events in order (for shutdown/tests)."""

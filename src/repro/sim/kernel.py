@@ -17,6 +17,7 @@ kernel itself is unit-agnostic.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SchedulingError, SimulationError
@@ -47,6 +48,25 @@ class Simulator:
         self._finished = False
         self.trace = trace
         self._processes: list[Process] = []
+
+    def __getstate__(self) -> dict:
+        """Pickle support for checkpointing.
+
+        A snapshot is taken from *inside* a running event (the checkpoint
+        callback), so ``_running`` is True at dump time; the restored
+        simulator must accept a fresh :meth:`run` call.  Live generator
+        processes cannot be pickled — checkpointing is defined for the
+        callback-style RMB machinery only.
+        """
+        if any(not p.finished for p in self._processes):
+            raise SimulationError(
+                "cannot checkpoint a simulator with live generator "
+                "processes; only callback-style simulations snapshot"
+            )
+        state = dict(self.__dict__)
+        state["_running"] = False
+        state["_processes"] = []
+        return state
 
     # ------------------------------------------------------------------
     # Clock
@@ -145,7 +165,8 @@ class Simulator:
         Args:
             until: stop once the next event lies strictly beyond this time;
                 the clock is advanced to ``until``.
-            max_events: safety valve for tests; raise if exceeded.
+            max_events: safety valve for tests; raise once this many events
+                have executed and more remain.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
@@ -158,21 +179,126 @@ class Simulator:
                     break
                 if until is not None and next_time > until:
                     break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(self._livelock_diagnostics(max_events))
                 self.step()
                 executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "possible livelock in the model"
-                    )
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
 
+    def _livelock_diagnostics(self, max_events: int) -> str:
+        """Describe the stuck state: clock and the imminent event labels."""
+        upcoming = ", ".join(
+            f"{event.label or '<unlabelled>'}@{event.time:g}"
+            for event in self._queue.peek_events(5)
+        )
+        return (
+            f"exceeded max_events={max_events} at t={self._now:g}; "
+            f"possible livelock in the model (next events: {upcoming})"
+        )
+
     def run_ticks(self, ticks: float) -> None:
         """Convenience: advance the clock by ``ticks`` from the current time."""
         self.run(until=self._now + ticks)
+
+
+class SimClock:
+    """A picklable callable returning its simulator's current time.
+
+    Engines that only need ``now()`` take this instead of a bound lambda,
+    so the whole object graph of a ring remains serialisable for
+    checkpoint/restore (closures defeat pickle; instances do not).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def __call__(self) -> float:
+        return self._sim.now
+
+
+class SimScheduler:
+    """A picklable callable scheduling relative-delay events.
+
+    The routing engine's retry timers go through this instead of a lambda
+    over :meth:`Simulator.schedule`, for the same checkpointing reason as
+    :class:`SimClock`.
+    """
+
+    def __init__(self, sim: Simulator, label: str = "") -> None:
+        self._sim = sim
+        self._label = label
+
+    def __call__(self, delay: float, callback: Callable[[], Any]) -> Event:
+        return self._sim.schedule(delay, callback, label=self._label)
+
+
+class Periodic:
+    """A self-rescheduling periodic callback (the engine behind ``every``).
+
+    Instances are plain picklable objects — their pending event holds a
+    bound method, not a closure — so periodic machinery (flit ticks,
+    probes, watchdog sweeps) survives checkpoint/restore intact.
+
+    ``reschedule_first=False`` (the default) runs the callback before
+    pushing the next occurrence, preserving the historical event ordering
+    of the closure-based ``every``.  The checkpoint writer sets it True so
+    that the *next* periodic occurrence is already queued when the
+    snapshot is taken mid-callback; otherwise a restored run would never
+    see the periodic fire again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        start: Optional[float] = None,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+        reschedule_first: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._priority = priority
+        self._label = label
+        self._reschedule_first = reschedule_first
+        self._stopped = False
+        first = period if start is None else max(0.0, start - sim.now)
+        self._event: Optional[Event] = sim.schedule(
+            first, self._fire, priority, label
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        if self._reschedule_first:
+            self._event = self._sim.schedule(
+                self._period, self._fire, self._priority, self._label
+            )
+            self._callback()
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(
+                self._period, self._fire, self._priority, self._label
+            )
+
+    def stop(self) -> None:
+        """Cancel the pending occurrence and stop rescheduling."""
+        self._stopped = True
+        if self._event is not None and not self._event.cancelled:
+            self._sim.cancel(self._event)
+
+    def __call__(self) -> None:
+        # ``every`` historically returned a stop *function*; keeping the
+        # instance callable preserves that contract.
+        self.stop()
 
 
 def every(
@@ -182,33 +308,15 @@ def every(
     start: Optional[float] = None,
     priority: int = PRIORITY_NORMAL,
     label: str = "",
-) -> Callable[[], None]:
-    """Schedule ``callback`` periodically; return a function that stops it.
+) -> Periodic:
+    """Schedule ``callback`` periodically; return a canceller.
 
     Used by the RMB tick engines and by monitors.  The callback runs first
     at ``start`` (default: one period from now) and then every ``period``
-    units until the returned canceller is invoked.
+    units until the returned canceller is invoked (either call it, or call
+    its :meth:`Periodic.stop`).
     """
-    if period <= 0:
-        raise SchedulingError(f"period must be positive, got {period!r}")
-    state: dict[str, Any] = {"stopped": False, "event": None}
-
-    def fire() -> None:
-        if state["stopped"]:
-            return
-        callback()
-        if not state["stopped"]:
-            state["event"] = sim.schedule(period, fire, priority, label)
-
-    first = period if start is None else max(0.0, start - sim.now)
-    state["event"] = sim.schedule(first, fire, priority, label)
-
-    def stop() -> None:
-        state["stopped"] = True
-        if state["event"] is not None:
-            sim.cancel(state["event"])
-
-    return stop
+    return Periodic(sim, period, callback, start, priority, label)
 
 
 def at_times(
@@ -227,11 +335,8 @@ def at_times(
     events = []
     for time in sorted(times):
         fire_at = max(time, sim.now)
-
-        def fire(at: float = time) -> None:
-            callback(at)
-
-        events.append(sim.schedule_at(fire_at, fire, label=label))
+        events.append(sim.schedule_at(fire_at, functools.partial(callback, time),
+                                      label=label))
     return events
 
 

@@ -139,15 +139,16 @@ class RateMeter:
                  observe_total: Callable[[], float],
                  name: str = "rate") -> None:
         self.series = TimeSeries(name=name)
+        self._sim = sim
         self._observe = observe_total
         self._period = period
         self._last = observe_total()
-        self._stop = every(sim, period, lambda: self._sample(sim.now),
+        self._stop = every(sim, period, self._sample,
                            label=f"{name}.sample")
 
-    def _sample(self, now: float) -> None:
+    def _sample(self) -> None:
         current = self._observe()
-        self.series.record(now, (current - self._last) / self._period)
+        self.series.record(self._sim.now, (current - self._last) / self._period)
         self._last = current
 
     def stop(self) -> None:
@@ -170,9 +171,11 @@ class PeriodicProbe:
         self.series = TimeSeries(name=name)
         self._observe = observe
         self._sim = sim
-        self._stop = every(sim, period,
-                           lambda: self.series.record(sim.now, observe()),
+        self._stop = every(sim, period, self._sample,
                            label=f"{name}.sample")
+
+    def _sample(self) -> None:
+        self.series.record(self._sim.now, self._observe())
 
     def stop(self) -> None:
         self._stop()

@@ -77,6 +77,19 @@ class RandomStream:
         self._random.shuffle(items)
         return items
 
+    def getstate(self) -> tuple:
+        """The underlying generator state (for checkpoint verification).
+
+        :class:`random.Random` pickles its exact Mersenne-Twister state,
+        so streams survive checkpoint/restore bit-for-bit; this accessor
+        lets tests and the snapshot manifest assert that directly.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._random.setstate(state)
+
     def fork(self, name: str) -> "RandomStream":
         """Derive an independent child stream; deterministic in (seed, name)."""
         return RandomStream(_derive_seed(self.seed, f"{self.name}/{name}"),

@@ -1,0 +1,88 @@
+"""Per-INC admission control: bounded outstanding load under overload.
+
+The RMB's retry protocol keeps the *segments* safe under any load, but
+nothing in the paper bounds the work a single PE may pile onto its INC:
+under sustained overload the per-node queues (and hence latency) grow
+without bound, and retry storms amplify the collapse.  Real ring
+interconnects ship throttling for exactly this reason (cf. the
+overload-aware injection control in hierarchical-ring NoCs).
+
+:class:`AdmissionController` is the policy half of supervision design
+decision S2: it decides, per submission, whether a source whose
+outstanding count (queued + in-flight + awaiting-retry, see
+:meth:`repro.core.routing.RoutingEngine.outstanding`) has reached the
+configured cap should have the new request **shed** (refused outright) or
+**deferred** (held in a per-INC holding queue until capacity frees).  The
+mechanism half — the holding queues and their release — lives in the
+routing engine, which owns the queues being protected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: decide() verdicts.
+ADMIT = "admit"
+SHED = "shed"
+DEFER = "defer"
+
+
+class AdmissionController:
+    """Shed-or-defer admission policy for one ring.
+
+    Args:
+        limit: max outstanding requests per source INC (``None`` = no cap,
+            every submission is admitted).
+        policy: ``"shed"`` or ``"defer"`` — what happens to a submission
+            that would exceed the cap.
+    """
+
+    def __init__(self, limit: Optional[int] = None,
+                 policy: str = "defer") -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        if policy not in (SHED, DEFER):
+            raise ValueError(f"admission policy must be 'shed' or 'defer', "
+                             f"got {policy!r}")
+        self.limit = limit
+        self.policy = policy
+        self.admitted = 0
+        self.shed = 0
+        self.deferred = 0
+        self.released = 0
+        self.peak_outstanding = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.limit is not None
+
+    def decide(self, outstanding: int) -> str:
+        """Verdict for one submission given the source's outstanding count."""
+        self.peak_outstanding = max(self.peak_outstanding, outstanding)
+        if self.limit is None or outstanding < self.limit:
+            self.admitted += 1
+            return ADMIT
+        if self.policy == SHED:
+            self.shed += 1
+            return SHED
+        self.deferred += 1
+        return DEFER
+
+    def may_release(self, outstanding: int) -> bool:
+        """May one deferred request be admitted now?"""
+        return self.limit is None or outstanding < self.limit
+
+    def note_released(self) -> None:
+        """A deferred request left the holding queue for the real queue."""
+        self.released += 1
+
+    def summary(self) -> dict[str, float]:
+        """Flat counters for run reports."""
+        return {
+            "admission_limit": float(self.limit) if self.limit else 0.0,
+            "admitted": float(self.admitted),
+            "shed": float(self.shed),
+            "deferred": float(self.deferred),
+            "released": float(self.released),
+            "peak_outstanding": float(self.peak_outstanding),
+        }

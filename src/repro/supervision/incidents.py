@@ -1,0 +1,78 @@
+"""Structured incident reports raised by the supervision layer.
+
+An :class:`Incident` is the escalation end of every watchdog condition:
+whatever the configured recovery action, the observation itself is kept as
+plain data so a run's :class:`~repro.core.stats.RunStats` can report *what
+went wrong and what was done about it* next to the performance numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One supervised-execution observation.
+
+    Attributes:
+        time: simulation tick the condition was detected at.
+        condition: what tripped — ``"stalled_bus"``, ``"retry_storm"``,
+            or ``"handshake_stall"``.
+        subject: the affected entity (``"bus#12"``, ``"node3"``,
+            ``"cycle_control"``).
+        action: what the watchdog did — ``"force_teardown"``,
+            ``"reset_backoff"``, or ``"report"``.
+        detail: free-form context (stall age, retry count, ...).
+    """
+
+    time: float
+    condition: str
+    subject: str
+    action: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return (f"[{self.time:>8.1f}] {self.condition}: {self.subject} "
+                f"-> {self.action}{extra}")
+
+
+@dataclass
+class IncidentLog:
+    """An append-only list of incidents with small query helpers."""
+
+    entries: list[Incident] = field(default_factory=list)
+
+    def record(self, incident: Incident) -> None:
+        self.entries.append(incident)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self.entries)
+
+    def of_condition(self, condition: str) -> list[Incident]:
+        """All incidents with the given condition tag, in time order."""
+        return [entry for entry in self.entries
+                if entry.condition == condition]
+
+    def first(self, condition: str) -> Optional[Incident]:
+        """Earliest incident of ``condition``, or ``None``."""
+        for entry in self.entries:
+            if entry.condition == condition:
+                return entry
+        return None
+
+    def counts(self) -> dict[str, int]:
+        """``condition -> occurrences`` (sorted by condition name)."""
+        tally: dict[str, int] = {}
+        for entry in self.entries:
+            tally[entry.condition] = tally.get(entry.condition, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def render(self) -> str:
+        """Human-readable multi-line dump."""
+        return "\n".join(str(entry) for entry in self.entries)

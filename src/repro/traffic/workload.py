@@ -45,11 +45,24 @@ def replay_on_two_ring(network: TwoRingRMB, schedule: ArrivalSchedule) -> None:
                                 label=f"arrive.msg{message.message_id}")
 
 
-def _submitter(target, message: Message):
-    def submit() -> None:
-        target.submit(message)
+class _Submitter:
+    """Picklable deferred ``target.submit(message)`` call.
 
-    return submit
+    Workload arrivals sit in the kernel queue for the whole run; a class
+    instance (rather than a closure) keeps the queue serialisable for
+    checkpoint/restore.
+    """
+
+    def __init__(self, target, message: Message) -> None:
+        self._target = target
+        self._message = message
+
+    def __call__(self) -> None:
+        self._target.submit(self._message)
+
+
+def _submitter(target, message: Message) -> _Submitter:
+    return _Submitter(target, message)
 
 
 def run_load_point(

@@ -17,7 +17,7 @@ def test_ids_unique_and_ordered():
     ids = [experiment.experiment_id for experiment in EXPERIMENTS]
     assert len(set(ids)) == len(ids)
     assert ids[0] == "E1"
-    assert ids[-1] == "E26"
+    assert ids[-1] == "E27"
 
 
 def test_get_experiment_lookup():

@@ -139,3 +139,118 @@ def test_pending_events_counter(sim):
     assert sim.pending_events == 2
     sim.run()
     assert sim.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# max_events semantics and livelock diagnostics (supervision PR)
+# ---------------------------------------------------------------------------
+
+def test_max_events_allows_exactly_that_many(sim):
+    """A queue that drains at the cap is success, not a livelock."""
+    fired = []
+    for i in range(5):
+        sim.schedule(i + 1, lambda i=i: fired.append(i))
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_executes_no_extra_event(sim):
+    fired = []
+    for i in range(6):
+        sim.schedule(i + 1, lambda i=i: fired.append(i))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4], \
+        "the cap must stop execution before the excess event runs"
+
+
+def test_livelock_diagnostics_carry_time_and_labels(sim):
+    def forever():
+        sim.schedule(1, forever, label="spinner")
+
+    sim.schedule(1, forever, label="spinner")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(max_events=10)
+    message = str(excinfo.value)
+    assert "max_events=10" in message
+    assert "t=10" in message
+    assert "spinner" in message
+
+
+def test_livelock_diagnostics_list_upcoming_events(sim):
+    for i in range(8):
+        sim.schedule(i + 1, lambda: None, label=f"ev{i}")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(max_events=2)
+    message = str(excinfo.value)
+    # The five soonest queued events, in order, after two executed.
+    assert "ev2@3" in message and "ev6@7" in message
+    assert "ev7" not in message
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint support: pickling the kernel and its helpers
+# ---------------------------------------------------------------------------
+
+class _Recorder:
+    """Module-level so the pickle round-trip below can serialise it."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.fired = []
+
+    def tick(self):
+        self.fired.append(self.clock())
+
+
+def test_simulator_pickles_with_pending_events(sim):
+    import pickle
+
+    from repro.sim.kernel import SimClock, SimScheduler, every as make_every
+
+    recorder = _Recorder(SimClock(sim))
+    make_every(sim, 5, recorder.tick)
+    SimScheduler(sim, label="probe")(3, recorder.tick)
+    sim.run(until=7)
+    clone = pickle.loads(pickle.dumps(sim))
+    clone.run(until=22)
+    sim.run(until=22)
+    assert sim.now == clone.now == 22.0
+    assert sim.pending_events == clone.pending_events
+
+
+def test_simulator_refuses_to_pickle_live_processes(sim):
+    import pickle
+
+    def proc():
+        yield 100.0
+
+    sim.spawn(proc(), name="sleeper")
+    with pytest.raises(Exception):
+        pickle.dumps(sim)
+
+
+def test_periodic_reschedule_first_keeps_next_occurrence_queued(sim):
+    from repro.sim.kernel import Periodic
+
+    seen = []
+
+    def probe():
+        # With reschedule_first, the *next* occurrence is already in the
+        # queue while the callback runs.
+        seen.append(sim.pending_events)
+
+    Periodic(sim, 5, probe, reschedule_first=True)
+    sim.run(until=12)
+    assert seen == [1, 1]
+
+
+def test_periodic_stop_method_and_call_are_equivalent(sim):
+    from repro.sim.kernel import Periodic
+
+    times = []
+    periodic = Periodic(sim, 5, lambda: times.append(sim.now))
+    sim.run(until=12)
+    periodic.stop()
+    sim.run(until=40)
+    assert times == [5.0, 10.0]

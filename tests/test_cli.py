@@ -80,3 +80,51 @@ class TestSelfcheck:
         assert "PASS" in out
         assert "FAIL" not in out
         assert "all 6 checks passed" in out
+
+
+class TestRunSupervision:
+    RUN = ["run", "-n", "8", "-k", "3", "-m", "12", "--rate", "0.05",
+           "--flits", "4"]
+
+    def test_admission_and_watchdog_flags(self, capsys):
+        code = main(self.RUN + ["--admission-limit", "2",
+                                "--admission-policy", "shed", "--watchdog"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+
+    def test_checkpoint_resume_reproduces_the_report(self, tmp_path, capsys):
+        template = str(tmp_path / "ck-{tick}.snap")
+        stats_a = str(tmp_path / "a.json")
+        stats_b = str(tmp_path / "b.json")
+        code = main(self.RUN + ["--watchdog",
+                                "--checkpoint-every", "40",
+                                "--checkpoint-file", template,
+                                "--stats-json", stats_a])
+        assert code == 0
+        first_report = capsys.readouterr().out
+        snapshots = sorted(tmp_path.glob("ck-*.snap"))
+        assert snapshots, "the run must have written checkpoints"
+        code = main(["run", "--resume-from", str(snapshots[0]),
+                     "--stats-json", stats_b])
+        assert code == 0
+        resumed_report = capsys.readouterr().out
+        assert resumed_report == first_report
+        assert (tmp_path / "a.json").read_text() == \
+            (tmp_path / "b.json").read_text()
+
+    def test_resume_from_garbage_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"not a snapshot")
+        code = main(["run", "--resume-from", str(bad)])
+        assert code == 1
+        assert "cannot resume" in capsys.readouterr().out
+
+    def test_stats_json_is_written(self, tmp_path):
+        import json
+        target = tmp_path / "stats.json"
+        code = main(self.RUN + ["--stats-json", str(target)])
+        assert code == 0
+        summary = json.loads(target.read_text())
+        assert summary["offered"] > 0
+        assert "forced_teardowns" in summary
