@@ -1,0 +1,90 @@
+"""End-to-end benchmark: the E25-style load sweep at N=64, k=4.
+
+This is the acceptance scenario for the hot-path performance work: a
+full ring (routing + compaction + probes) under uniform Bernoulli
+traffic, measured in *kernel events per wall second*.  Two rows are
+reported:
+
+* ``load_sweep`` — the optimized operating point (tracing disabled,
+  ``check_level="sampled"`` when the tree supports it);
+* ``load_sweep_full_checks`` — the same workload with the invariant
+  monitor at full strength, isolating the checker's share of the cost.
+
+On trees that predate ``check_level`` both rows run with full checks,
+which is exactly the pre-PR baseline configuration.
+
+Emits ``BENCH_end2end.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_end2end.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from perf_common import emit, instrument_events, supports_kwarg, \
+    time_scenario  # noqa: E402
+
+from repro.core import RMBConfig, RMBRing  # noqa: E402
+from repro.sim import RandomStream  # noqa: E402
+from repro.traffic import bernoulli_schedule, replay_on_ring  # noqa: E402
+
+NODES = 64
+LANES = 4
+FLITS = 8
+DURATION = 400
+RATE = 0.02
+SEED = 7
+
+_LAST: dict[str, float] = {}
+
+
+def _run_ring(check_level: str) -> int:
+    config = RMBConfig(nodes=NODES, lanes=LANES, cycle_period=2.0)
+    kwargs = {}
+    if supports_kwarg(RMBRing, "check_level"):
+        kwargs["check_level"] = check_level
+    ring = RMBRing(config, seed=SEED, trace_kinds=set(),
+                   probe_period=16.0, **kwargs)
+    events = instrument_events(ring.sim)
+    rng = RandomStream(SEED, name="perf")
+    schedule = bernoulli_schedule(NODES, DURATION, RATE, FLITS, rng)
+    replay_on_ring(ring, schedule)
+    ring.run(DURATION)
+    ring.drain(max_ticks=2_000_000)
+    stats = ring.stats()
+    _LAST["messages"] = float(stats.completed)
+    _LAST["flits"] = float(stats.flits_delivered)
+    _LAST["sim_ticks"] = float(ring.sim.now)
+    return events()
+
+
+def load_sweep() -> int:
+    return _run_ring("sampled")
+
+
+def load_sweep_full_checks() -> int:
+    return _run_ring("full")
+
+
+def main() -> None:
+    results = {
+        "load_sweep": time_scenario(load_sweep),
+        "load_sweep_full_checks": time_scenario(load_sweep_full_checks),
+    }
+    emit("end2end", results, extra={
+        "scenario": {
+            "nodes": NODES, "lanes": LANES, "flits": FLITS,
+            "duration_ticks": DURATION, "rate": RATE, "seed": SEED,
+            "messages_completed": _LAST.get("messages", 0.0),
+            "flits_delivered": _LAST.get("flits", 0.0),
+            "sim_ticks": _LAST.get("sim_ticks", 0.0),
+        },
+        "metric_note": "ops_per_sec is kernel events per wall second",
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""CI perf gate: compare fresh BENCH_*.json files against baseline.json.
+
+A gated metric fails when its measured ``ops_per_sec`` is more than
+``max_regression_factor`` below the committed baseline — loose enough
+to absorb machine variance between CI runners, tight enough to catch a
+hot path accidentally falling back to a slow implementation.
+
+Non-gated baseline entries (the ``informational`` block) are printed
+for the log but never fail the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py
+    python benchmarks/perf/check_regression.py
+
+Environment:
+    PERF_OUT_DIR: where run_all wrote the JSON (default: repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+
+
+def load_bench(layer: str, out_dir: pathlib.Path) -> dict | None:
+    path = out_dir / f"BENCH_{layer}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def main() -> int:
+    baseline = json.loads((HERE / "baseline.json").read_text())
+    factor = float(baseline["max_regression_factor"])
+    out_dir = pathlib.Path(os.environ.get("PERF_OUT_DIR", REPO_ROOT))
+
+    failures = []
+    for layer, metrics in baseline["gates"].items():
+        bench = load_bench(layer, out_dir)
+        if bench is None:
+            failures.append(f"BENCH_{layer}.json missing (run run_all.py first)")
+            continue
+        for name, floor in metrics.items():
+            row = bench["results"].get(name)
+            if row is None:
+                failures.append(f"{layer}/{name}: scenario missing from bench")
+                continue
+            measured = float(row["ops_per_sec"])
+            minimum = float(floor) / factor
+            verdict = "OK" if measured >= minimum else "REGRESSED"
+            print(f"[gate] {layer}/{name}: {measured:,.0f} ops/sec "
+                  f"(baseline {float(floor):,.0f}, floor {minimum:,.0f}) "
+                  f"{verdict}")
+            if measured < minimum:
+                failures.append(
+                    f"{layer}/{name}: {measured:,.0f} ops/sec is more than "
+                    f"{factor:g}x below the committed baseline "
+                    f"{float(floor):,.0f}")
+
+    for layer, metrics in baseline.get("informational", {}).items():
+        bench = load_bench(layer, out_dir)
+        if bench is None:
+            continue
+        for name, reference in metrics.items():
+            row = bench["results"].get(name)
+            if row is None:
+                continue
+            print(f"[info] {layer}/{name}: {float(row['ops_per_sec']):,.0f} "
+                  f"ops/sec (reference {float(reference):,.0f})")
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Shared machinery for the perf microbenchmark suite.
+
+Each ``bench_*.py`` module in this directory measures one layer of the
+simulator (kernel, compaction, end-to-end) and emits a machine-readable
+``BENCH_<layer>.json`` at the repository root, so the repo carries a
+perf trajectory that future PRs can compare against.
+
+Conventions:
+
+* every scenario is a zero-argument callable returning an integer *work
+  count* (events executed, cycles run, ...); the harness times it and
+  reports ``ops_per_sec = work / best_wall_seconds``;
+* fresh state is built inside the scenario so repeats are independent;
+* ``best of N`` wall time is reported (robust against scheduler noise
+  on shared CI machines);
+* the suite is feature-detecting: it runs unchanged on trees that
+  predate the fast-path kernel (used to record the pre-PR baseline).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Callable
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Repeats per scenario; best wall time wins.
+REPEATS = int(os.environ.get("PERF_REPEATS", "3"))
+
+
+def environment() -> dict[str, Any]:
+    """The facts needed to interpret (and compare) the numbers."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def time_scenario(fn: Callable[[], int], repeats: int = 0) -> dict[str, float]:
+    """Run ``fn`` ``repeats`` times; report best wall time and ops/sec."""
+    repeats = repeats or REPEATS
+    best = float("inf")
+    work = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {
+        "work": float(work),
+        "wall_seconds": round(best, 6),
+        "ops_per_sec": round(work / best, 1) if best > 0 else 0.0,
+    }
+
+
+def events_executed(sim) -> int | None:
+    """Events the simulator has executed, if the kernel counts them."""
+    return getattr(sim, "events_executed", None)
+
+
+def instrument_events(sim) -> Callable[[], int]:
+    """Count executed events, portably across kernel generations.
+
+    On the fast-path kernel this simply reads ``sim.events_executed``;
+    on older kernels it wraps the event queue's ``pop`` (called exactly
+    once per executed event) with a counting shim.
+    """
+    if events_executed(sim) is not None:
+        start = sim.events_executed
+
+        def read() -> int:
+            return sim.events_executed - start
+
+        return read
+
+    counter = {"n": 0}
+    original_pop = sim._queue.pop
+
+    def counting_pop():
+        event = original_pop()
+        counter["n"] += 1
+        return event
+
+    sim._queue.pop = counting_pop
+
+    def read_legacy() -> int:
+        return counter["n"]
+
+    return read_legacy
+
+
+def supports_kwarg(callable_obj, name: str) -> bool:
+    """True when ``callable_obj`` accepts keyword argument ``name``."""
+    try:
+        return name in inspect.signature(callable_obj).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+
+
+def emit(layer: str, results: dict[str, dict[str, float]],
+         extra: dict[str, Any] | None = None) -> pathlib.Path:
+    """Write ``BENCH_<layer>.json`` at the repo root and echo a summary."""
+    out_dir = pathlib.Path(os.environ.get("PERF_OUT_DIR", REPO_ROOT))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{layer}.json"
+    payload: dict[str, Any] = {
+        "bench": layer,
+        "environment": environment(),
+        "results": results,
+    }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"== BENCH_{layer} ==")
+    for name, row in results.items():
+        print(f"  {name:<28} {row['ops_per_sec']:>14,.0f} ops/sec "
+              f"({row['work']:.0f} ops in {row['wall_seconds']:.3f}s)")
+    print(f"wrote {path}")
+    return path

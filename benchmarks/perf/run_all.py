@@ -1,0 +1,41 @@
+"""Run the whole perf suite: kernel, compaction, end-to-end.
+
+Each bench runs in a fresh interpreter so one layer's warm caches and
+allocator state cannot leak into another's numbers.  Emits the three
+``BENCH_*.json`` files (to ``PERF_OUT_DIR`` or the repo root) and exits
+non-zero if any bench fails to run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py
+
+Environment:
+    PERF_REPEATS: repeats per scenario (default 3; CI uses 1).
+    PERF_OUT_DIR: where the JSON lands (default: repo root).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+BENCHES = ("bench_kernel.py", "bench_compaction.py", "bench_end2end.py")
+
+
+def main() -> int:
+    failed = []
+    for bench in BENCHES:
+        print(f"--- {bench}", flush=True)
+        result = subprocess.run([sys.executable, str(HERE / bench)])
+        if result.returncode != 0:
+            failed.append(bench)
+    if failed:
+        print(f"FAILED: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

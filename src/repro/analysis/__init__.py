@@ -38,7 +38,12 @@ from repro.analysis.offline import (
     service_time,
     verify_schedule,
 )
-from repro.analysis.sweep import aggregate_mean, grid, run_sweep
+from repro.analysis.sweep import (
+    aggregate_mean,
+    grid,
+    run_sweep,
+    run_sweep_parallel,
+)
 from repro.analysis.tables import render_comparison, render_series, render_table
 
 __all__ = [
@@ -72,6 +77,7 @@ __all__ = [
     "render_table",
     "rmb_cost",
     "run_sweep",
+    "run_sweep_parallel",
     "service_time",
     "unloaded_latency",
     "verify_schedule",

@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "(other run options are taken from the snapshot)")
     run.add_argument("--stats-json", default=None, metavar="PATH",
                      help="also write the stats summary as JSON")
+    run.add_argument("--check-level", choices=("full", "sampled", "off"),
+                     default="full",
+                     help="runtime invariant monitor frequency: every "
+                          "compaction cycle, every 16th, or disabled "
+                          "(read-only; results are identical at all levels)")
 
     race = commands.add_parser(
         "race", help="race one permutation across all networks")
@@ -140,6 +145,7 @@ def command_run(args: argparse.Namespace) -> int:
                        max_retries=max_retries,
                        admission_limit=args.admission_limit,
                        admission_policy=args.admission_policy,
+                       check_level=args.check_level,
                        synchronous=not args.asynchronous)
     watchdog = None
     if args.watchdog:

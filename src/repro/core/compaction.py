@@ -23,6 +23,22 @@ lanes in even cycles and so on.  Two engines are provided:
   own output segments when its cycle controller reaches the WORK phase;
   moves commit atomically in event order, so legality is always evaluated
   against current state.
+
+**Incremental candidate search.**  The legality of a move at segment
+``(i, l)`` depends only on state at columns ``i-1``, ``i`` and ``i+1``
+(the occupancy/health of ``i``, and the adjacent hops' lanes, which live
+one column to either side) plus the occupying bus's phase.  The grid
+records every column whose state changed in a dirty set, and the one
+phase transition that relaxes legality without touching the grid (a bus
+leaving EXTENDING via a Nack) marks the head column dirty explicitly
+(:meth:`SegmentGrid.touch`).  ``global_pass`` therefore keeps a *hot map*
+``segment -> parity bitmask``: a dirtied column heats itself and both
+neighbours for both cycle parities; a heated column cools a parity once
+it has been examined in a cycle of that parity.  Cold columns provably
+admit no candidate, so the per-cycle search is O(recent activity), not
+O(N·k) — with identical candidate sets, ordering, and committed moves
+to the exhaustive scan (``incremental = False`` keeps the reference
+full-scan path for the determinism property tests).
 """
 
 from __future__ import annotations
@@ -103,6 +119,14 @@ class CompactionEngine:
         #: perform no compaction work on their output segments.  Shared
         #: with the fault manager, which adds/removes indices.
         self.dropped_incs: set[int] = set()
+        #: Use the dirty-set candidate search in :meth:`global_pass`.
+        #: False selects the reference exhaustive scan (same results,
+        #: used by the determinism property tests and as documentation
+        #: of the semantics the incremental path must reproduce).
+        self.incremental = True
+        #: Hot map: segment -> 2-bit mask of cycle parities still to
+        #: examine.  Fed from the grid's dirty set with ±1 expansion.
+        self._hot: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Legality
@@ -214,35 +238,10 @@ class CompactionEngine:
             return 0
         self.stats.cycles_run += 1
         self._evacuate_all(cycle)
-        snapshot_free = {
-            (segment, lane)
-            for segment in range(self.grid.nodes)
-            for lane in self.grid.usable_lanes(segment)
-        }
-        candidates: list[tuple[int, int, int, int]] = []  # lane, seg, bus, hop
-        for segment, lane, bus_id in list(self.grid.iter_occupied()):
-            if segment in self.dropped_incs:
-                continue
-            if lane < 1 or not self.considered(segment, lane, cycle):
-                continue
-            if (segment, lane - 1) not in snapshot_free:
-                continue
-            bus = self.buses[bus_id]
-            hop = bus.hop_of_segment(segment)
-            if hop is None or hop not in bus.held_hops():
-                continue
-            if (not self.config.compact_head_while_extending
-                    and bus.phase is BusPhase.EXTENDING
-                    and hop == len(bus.hops) - 1
-                    and not bus.complete):
-                continue  # D9: travelling headers stay high
-            upstream = bus.upstream_lane(hop)
-            if upstream is not None and upstream not in (lane - 1, lane):
-                continue
-            downstream = bus.downstream_lane(hop)
-            if downstream is not None and downstream not in (lane - 1, lane):
-                continue
-            candidates.append((lane, segment, bus_id, hop))
+        if self.incremental:
+            candidates = self._candidates_incremental(cycle)
+        else:
+            candidates = self._candidates_full(cycle)
 
         committed_hops: set[tuple[int, int]] = set()  # (bus_id, hop)
         moves = 0
@@ -259,6 +258,103 @@ class CompactionEngine:
             moves += 1
         return moves
 
+    def _candidate_at(self, segment: int, lane: int, bus_id: int,
+                      candidates: list[tuple[int, int, int, int]]) -> None:
+        """Append ``(lane, segment, bus_id, hop)`` if the move passes D1/D9.
+
+        Shared filter of the full and incremental candidate builders; the
+        caller has already applied the parity rule (D2), the dropped-INC
+        exclusion, and the free-target check.
+        """
+        bus = self.buses[bus_id]
+        hop = bus.hop_of_segment(segment)
+        if hop is None or hop not in bus.held_hops():
+            return
+        if (not self.config.compact_head_while_extending
+                and bus.phase is BusPhase.EXTENDING
+                and hop == len(bus.hops) - 1
+                and not bus.complete):
+            return  # D9: travelling headers stay high
+        upstream = bus.upstream_lane(hop)
+        if upstream is not None and upstream not in (lane - 1, lane):
+            return
+        downstream = bus.downstream_lane(hop)
+        if downstream is not None and downstream not in (lane - 1, lane):
+            return
+        candidates.append((lane, segment, bus_id, hop))
+
+    def _candidates_full(self, cycle: int) -> list[tuple[int, int, int, int]]:
+        """Reference candidate builder: exhaustive scan of the grid.
+
+        No mutation happens between here and the commit loop, so checking
+        ``is_usable`` live is identical to the historical start-of-cycle
+        free-set snapshot.
+        """
+        candidates: list[tuple[int, int, int, int]] = []  # lane, seg, bus, hop
+        for segment, lane, bus_id in list(self.grid.iter_occupied()):
+            if segment in self.dropped_incs:
+                continue
+            if lane < 1 or not self.considered(segment, lane, cycle):
+                continue
+            if not self.grid.is_usable(segment, lane - 1):
+                continue
+            self._candidate_at(segment, lane, bus_id, candidates)
+        return candidates
+
+    def _absorb_dirty(self) -> None:
+        """Heat the ±1 neighbourhood of every dirtied column, both parities."""
+        dirty = self.grid.collect_dirty()
+        if not dirty:
+            return
+        nodes = self.grid.nodes
+        hot = self._hot
+        for segment in dirty:
+            hot[(segment - 1) % nodes] = 0b11
+            hot[segment] = 0b11
+            hot[(segment + 1) % nodes] = 0b11
+
+    def _candidates_incremental(self, cycle: int) -> \
+            list[tuple[int, int, int, int]]:
+        """Candidate builder restricted to hot columns.
+
+        A cold column has, by construction, been examined at both cycle
+        parities since the last change anywhere in its ±1 neighbourhood,
+        and every state a candidate's legality reads (own column's
+        occupancy and health, neighbours' hop lanes, occupant phase via
+        :meth:`SegmentGrid.touch`) dirties that neighbourhood when it
+        changes — so cold columns contribute no candidates and the
+        result equals :meth:`_candidates_full`'s.
+        """
+        self._absorb_dirty()
+        bit = 1 << (cycle & 1)
+        hot = self._hot
+        examined = sorted(s for s, mask in hot.items() if mask & bit)
+        candidates: list[tuple[int, int, int, int]] = []
+        grid = self.grid
+        lanes = grid.lanes
+        dropped = self.dropped_incs
+        for segment in examined:
+            if segment not in dropped:
+                column = grid._occupant[segment]
+                # D2: lanes with (segment + lane + cycle) even, from lane 1.
+                first = 1 + ((segment + 1 + cycle) & 1)
+                for lane in range(first, lanes, 2):
+                    bus_id = column[lane]
+                    if bus_id is None:
+                        continue
+                    if not grid.is_usable(segment, lane - 1):
+                        continue
+                    self._candidate_at(segment, lane, bus_id, candidates)
+        # Cool the examined parity; this pass's commits re-dirty their
+        # neighbourhoods and are absorbed at the next pass.
+        for segment in examined:
+            remaining = hot[segment] & ~bit
+            if remaining:
+                hot[segment] = remaining
+            else:
+                del hot[segment]
+        return candidates
+
     # ------------------------------------------------------------------
     # Asynchronous mode
     # ------------------------------------------------------------------
@@ -273,6 +369,25 @@ class CompactionEngine:
                 inc_index in self.dropped_incs:
             return 0
         moves = self._evacuate_segment_column(inc_index, cycle)
+        if self.incremental:
+            # Same hot-map gate as the synchronous builder, restricted to
+            # this INC's column: evacuation above is unconditional (a
+            # dying port is an emergency and ignores parity), but the
+            # regular lane walk is skipped when the column is cold for
+            # this local-cycle parity.  Each INC's local counter
+            # alternates parity strictly, so both parities are examined
+            # before a column may go cold — the cold-column argument of
+            # :meth:`_candidates_incremental` carries over unchanged.
+            self._absorb_dirty()
+            bit = 1 << (cycle & 1)
+            mask = self._hot.get(inc_index, 0)
+            if not mask & bit:
+                return moves
+            remaining = mask & ~bit
+            if remaining:
+                self._hot[inc_index] = remaining
+            else:
+                del self._hot[inc_index]
         for lane in range(1, self.grid.lanes):
             if not self.considered(inc_index, lane, cycle):
                 continue
@@ -285,12 +400,29 @@ class CompactionEngine:
     # Fault evacuation (make-before-break off dying segments)
     # ------------------------------------------------------------------
     def _evacuate_all(self, cycle: int) -> int:
-        """Migrate buses off every DYING segment that allows a legal move."""
+        """Migrate buses off every DYING segment that allows a legal move.
+
+        Driven by the grid's faulty index — O(faulty), and a no-op in the
+        fault-free common case — visiting ``(segment, lane)`` pairs in the
+        same ascending order the historical full column scan did.
+        """
+        if self.grid.faulty_count() == 0:
+            return 0
         moved = 0
-        for segment in range(self.grid.nodes):
+        for segment, lane, health in list(self.grid.faulty_segments()):
+            if health is not PortHealth.DYING:
+                continue
             if segment in self.dropped_incs:
                 continue
-            moved += self._evacuate_segment_column(segment, cycle)
+            if self.grid.occupant(segment, lane) is None:
+                continue
+            if self.move_legal(segment, lane, ignore_head_rule=True):
+                self._commit(segment, lane, cycle)
+                self.stats.evacuations += 1
+                moved += 1
+            elif self._evacuate_up_legal(segment, lane):
+                self._commit_up(segment, lane, cycle)
+                moved += 1
         return moved
 
     def _evacuate_segment_column(self, segment: int, cycle: int) -> int:
@@ -375,8 +507,12 @@ class CompactionEngine:
 
         Returns the number of cycles executed.  Two consecutive idle cycles
         are required because the parity rule hides half the lanes each
-        cycle.
+        cycle.  An empty grid short-circuits to zero cycles: with nothing
+        occupied there is nothing to move or evacuate, so the idle passes
+        would only burn time.
         """
+        if self.grid.occupied_segments() == 0:
+            return 0
         idle_streak = 0
         cycles = 0
         start = self.stats.cycles_run

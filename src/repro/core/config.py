@@ -69,6 +69,14 @@ class RMBConfig:
             per-INC holding queue and admits them as the source's
             outstanding count drops; ``"shed"`` refuses them outright
             (the record is marked ``shed`` and counted in the run stats).
+        check_level: how often the runtime invariant monitor executes.
+            ``"full"`` (default) checks every compaction cycle — every
+            reported number comes from a continuously validated run;
+            ``"sampled"`` checks every 16th cycle, trading validation
+            latency for speed on large rings; ``"off"`` disables the
+            monitor entirely.  The checks are read-only, so all three
+            levels produce bit-identical simulation results; only how
+            quickly a protocol bug would be caught differs.
         compact_head_while_extending: whether compaction may move the
             *head* hop of a bus whose header is still travelling.  The
             paper is ambiguous; moving it maximises packing but drags a
@@ -100,6 +108,7 @@ class RMBConfig:
     rx_ports: int = 1
     admission_limit: int | None = None
     admission_policy: str = "defer"
+    check_level: str = "full"
 
     def __post_init__(self) -> None:
         if self.nodes < 4:
@@ -144,6 +153,11 @@ class RMBConfig:
             raise ConfigurationError(
                 f"admission_policy must be 'defer' or 'shed', "
                 f"got {self.admission_policy!r}"
+            )
+        if self.check_level not in ("full", "sampled", "off"):
+            raise ConfigurationError(
+                f"check_level must be 'full', 'sampled' or 'off', "
+                f"got {self.check_level!r}"
             )
 
     @property

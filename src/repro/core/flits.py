@@ -14,10 +14,16 @@ kept explicit so traces and tests speak the paper's language.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError
+
+# ``dataclass(slots=True)`` needs 3.10+; on 3.9 these classes simply keep
+# their __dict__.  Flits and message records are the highest-volume
+# allocations in a run, so the slot layout is worth the version gate.
+_SLOTS: dict = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class FlitKind(enum.Enum):
@@ -37,7 +43,7 @@ class AckKind(enum.Enum):
     NACK = "Nack"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Flit:
     """One flit of a message.
 
@@ -55,7 +61,7 @@ class Flit:
         return f"{self.kind.value}({self.message_id}.{self.index})"
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class Message:
     """An application-level message offered to the network.
 
@@ -146,7 +152,7 @@ class Message:
         return (self.destination - self.source) % ring_size
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class MessageRecord:
     """Lifecycle timestamps and counters for one message, filled by the
     routing engine and consumed by :mod:`repro.core.stats`.

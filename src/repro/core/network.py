@@ -51,6 +51,11 @@ class RMBRing:
         check_invariants: arm the invariant monitor, executed once per
             compaction cycle.  On by default — every number this library
             reports comes from a continuously validated run.
+        check_level: overrides ``config.check_level`` when given:
+            ``"full"`` checks every compaction cycle, ``"sampled"`` every
+            16th, ``"off"`` disables the monitor.  The monitor is
+            read-only, so the level never changes simulation results.
+            ``check_invariants=False`` is equivalent to ``"off"``.
         probe_period: sampling period for the utilisation / live-bus
             probes (and, with a fault plan, the residual-throughput rate
             meter); ``None`` disables them.
@@ -71,6 +76,7 @@ class RMBRing:
         sim: Optional[Simulator] = None,
         trace_kinds: Optional[set[str]] = None,
         check_invariants: bool = True,
+        check_level: Optional[str] = None,
         probe_period: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         watchdog: Optional[WatchdogConfig] = None,
@@ -103,12 +109,23 @@ class RMBRing:
             self.sim, config.flit_period, self.routing.flit_tick,
             label=f"{name}.flit",
         )
+        level = check_level if check_level is not None else config.check_level
+        if level not in ("full", "sampled", "off"):
+            raise ProtocolError(
+                f"check_level must be 'full', 'sampled' or 'off', got {level!r}"
+            )
+        if not check_invariants:
+            level = "off"
+        self.check_level = level
         self.monitor: Optional[InvariantMonitor] = None
-        if check_invariants:
+        if level != "off":
             self.monitor = InvariantMonitor(
                 self.grid, self.buses, controllers=self.controllers
             )
-            every(self.sim, config.cycle_period, self.monitor.check,
+            # "sampled" stretches the monitor period 16x; the checks are
+            # pure observers, so only bug-detection latency changes.
+            period = config.cycle_period * (16 if level == "sampled" else 1)
+            every(self.sim, period, self.monitor.check,
                   label=f"{name}.invariants")
         self.utilization = TimeSeries(f"{name}.utilization")
         self.live_buses = TimeSeries(f"{name}.live_buses")

@@ -91,6 +91,15 @@ def all_ports(
     return views
 
 
+def _check_single_drivers(inc: int, driven_by: dict[int, list[int]]) -> None:
+    for input_lane, outputs in driven_by.items():
+        if len(outputs) > 1:
+            raise ProtocolError(
+                f"INC {inc} input lane {input_lane} drives multiple "
+                f"outputs {outputs} outside a make-before-break window"
+            )
+
+
 def validate_ports(grid: SegmentGrid, buses: dict[int, VirtualBus]) -> None:
     """Raise :class:`ProtocolError` if any port holds an illegal code,
     or if any input port drives more than one output port in steady state.
@@ -99,20 +108,36 @@ def validate_ports(grid: SegmentGrid, buses: dict[int, VirtualBus]) -> None:
     simulator commits moves atomically, so a transient make-before-break
     superposition is never observable at this level; observing one would
     indicate an engine bug.
+
+    This runs every monitor cycle, so it walks only the *occupied* ports
+    (a free port reads ``000``, which is legal and drives nothing) and
+    checks codes directly instead of materialising a :class:`PortView`
+    per port.  Semantically identical to validating ``all_ports``:
+    single-source codes from :func:`~repro.core.status.code_for` are
+    always Table 1 legal, so the only detectable violations are
+    grid/bus disagreement, over-distance connections, and multi-driven
+    inputs — all of which this loop raises exactly as the view-based
+    walk did, in the same INC-major, lane-minor order.
     """
-    for inc in range(grid.nodes):
-        driven_by: dict[int, list[int]] = {}
-        for view in inc_ports(grid, buses, inc):
-            if not is_legal(view.code):
-                raise ProtocolError(
-                    f"INC {inc} output lane {view.lane} holds illegal code "
-                    f"{view.code:03b}"
-                )
-            if view.input_lane is not None and view.input_lane != PE_SOURCE:
-                driven_by.setdefault(view.input_lane, []).append(view.lane)
-        for input_lane, outputs in driven_by.items():
-            if len(outputs) > 1:
-                raise ProtocolError(
-                    f"INC {inc} input lane {input_lane} drives multiple "
-                    f"outputs {outputs} outside a make-before-break window"
-                )
+    current_inc: Optional[int] = None
+    driven_by: dict[int, list[int]] = {}
+    for inc, lane, bus_id in grid.iter_occupied():
+        if inc != current_inc:
+            if current_inc is not None:
+                _check_single_drivers(current_inc, driven_by)
+            current_inc = inc
+            driven_by = {}
+        bus = buses[bus_id]
+        hop = bus.hop_of_segment(inc)
+        if hop is None or bus.hops[hop] != lane:
+            raise ProtocolError(
+                f"grid says bus {bus_id} holds segment ({inc}, {lane}) but "
+                f"the bus disagrees: {bus.describe()}"
+            )
+        upstream = bus.upstream_lane(hop)
+        if upstream is None:
+            continue  # source INC: PE-driven, reads straight (010)
+        code_for(upstream, lane)  # raises when the lanes are > 1 apart
+        driven_by.setdefault(upstream, []).append(lane)
+    if current_inc is not None:
+        _check_single_drivers(current_inc, driven_by)

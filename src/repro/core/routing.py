@@ -77,6 +77,10 @@ class RoutingEngine:
         self._schedule = schedule
         self._rng = rng
         self.trace = trace
+        # Cached at construction: disabled tracing (no recorder, or a
+        # recorder filtered to no kinds) costs one branch at each record
+        # site instead of argument packing plus a call per event.
+        self._trace_on = trace is not None and trace.enabled
         self._next_bus_id = 0
         self._queues: list[Deque[Message]] = [deque() for _ in range(config.nodes)]
         self._tx_active = [0] * config.nodes
@@ -131,8 +135,9 @@ class RoutingEngine:
         message.validate_multicast_order(self.config.nodes)
         record = MessageRecord(message=message)
         self.records[message.message_id] = record
-        self._record("request", message, source=message.source,
-                     destination=message.destination)
+        if self._trace_on:
+            self._record("request", message, source=message.source,
+                         destination=message.destination)
         verdict = self.admission.decide(self.outstanding(message.source))
         if verdict == ADMIT:
             self._queues[message.source].append(message)
@@ -187,11 +192,16 @@ class RoutingEngine:
     # ------------------------------------------------------------------
     def _admit(self) -> None:
         self._release_deferred()
+        queues = self._queues
+        if not any(queues):
+            return  # nothing waiting anywhere: skip the per-node scan
+        tx_active = self._tx_active
+        tx_ports = self.config.tx_ports
         for node in range(self.config.nodes):
-            if self._tx_active[node] >= self.config.tx_ports:
-                continue
-            queue = self._queues[node]
+            queue = queues[node]
             if not queue:
+                continue
+            if tx_active[node] >= tx_ports:
                 continue
             lane = self._insertion_lane(node)
             if lane is None:
@@ -262,7 +272,8 @@ class RoutingEngine:
         self._rx_holders[bus.bus_id] = set()
         self._stall_ticks[bus.bus_id] = 0
         self.injected += 1
-        self._record("inject", message, bus=bus.bus_id, lane=top)
+        if self._trace_on:
+            self._record("inject", message, bus=bus.bus_id, lane=top)
         self._on_header_advanced(bus)
 
     # ------------------------------------------------------------------
@@ -294,8 +305,9 @@ class RoutingEngine:
             self.grid.claim(next_segment, lane, bus.bus_id)
             bus.hops.append(lane)
             bus.record.lanes_visited.add(lane)
-            self._record("extend", bus.message, bus=bus.bus_id,
-                         segment=next_segment, lane=lane)
+            if self._trace_on:
+                self._record("extend", bus.message, bus=bus.bus_id,
+                             segment=next_segment, lane=lane)
             self._on_header_advanced(bus)
 
     def _pick_extension_lane(self, segment: int, entry_lane: int) -> Optional[int]:
@@ -353,7 +365,8 @@ class RoutingEngine:
         if self._reserve_rx(bus, bus.destination):
             bus.phase = BusPhase.ACK_RETURN
             bus.signal_position = len(bus.hops) - 1
-            self._record("hack", message, bus=bus.bus_id)
+            if self._trace_on:
+                self._record("hack", message, bus=bus.bus_id)
         else:
             bus.record.nacks += 1
             self.nacked += 1
@@ -383,6 +396,11 @@ class RoutingEngine:
         bus.signal_position = len(bus.hops) - 1
         bus.released_from = len(bus.hops)
         self._stall_ticks.pop(bus.bus_id, None)
+        # Leaving EXTENDING relaxes compaction's head rule (D9) at the head
+        # segment without any occupancy change; tell the grid so the
+        # incremental candidate search re-examines that neighbourhood.
+        if bus.hops:
+            self.grid.touch(bus.segment_index(len(bus.hops) - 1))
 
     def _advance_signals(self) -> None:
         for bus in list(self.buses.values()):
@@ -393,7 +411,9 @@ class RoutingEngine:
                     self.established += 1
                     bus.phase = BusPhase.STREAMING
                     bus.data_sent = 0
-                    self._record("established", bus.message, bus=bus.bus_id)
+                    if self._trace_on:
+                        self._record("established", bus.message,
+                                     bus=bus.bus_id)
             elif bus.phase in (BusPhase.NACK_RETURN, BusPhase.TEARDOWN):
                 self._release_step(bus)
 
@@ -420,12 +440,14 @@ class RoutingEngine:
             bus.phase = BusPhase.DONE
             bus.record.completed_at = self._now()
             self.completed += 1
-            self._record("complete", bus.message, bus=bus.bus_id)
+            if self._trace_on:
+                self._record("complete", bus.message, bus=bus.bus_id)
             if self.on_complete is not None:
                 self.on_complete(bus.record)
         else:
             bus.phase = BusPhase.REFUSED
-            self._record("refused", bus.message, bus=bus.bus_id)
+            if self._trace_on:
+                self._record("refused", bus.message, bus=bus.bus_id)
             self._schedule_retry(bus)
         del self.buses[bus.bus_id]
         self._stall_ticks.pop(bus.bus_id, None)
@@ -544,7 +566,9 @@ class RoutingEngine:
                 else:
                     bus.phase = BusPhase.DRAINING
                     bus.signal_position = 0
-                    self._record("final_flit", bus.message, bus=bus.bus_id)
+                    if self._trace_on:
+                        self._record("final_flit", bus.message,
+                                     bus=bus.bus_id)
             elif bus.phase is BusPhase.DRAINING:
                 bus.signal_position += 1
                 # The FF has crossed hop signal_position - 1, reaching the
@@ -556,8 +580,9 @@ class RoutingEngine:
                     bus.record.tap_delivered_at[tap_node] = self._now()
                     self.flits_delivered += bus.message.total_flits
                     self._release_rx(bus, tap_node)
-                    self._record("tap_delivered", bus.message,
-                                 bus=bus.bus_id, node=tap_node)
+                    if self._trace_on:
+                        self._record("tap_delivered", bus.message,
+                                     bus=bus.bus_id, node=tap_node)
                 if bus.signal_position >= bus.span:
                     bus.record.delivered_at = self._now()
                     self.delivered += 1
@@ -566,7 +591,9 @@ class RoutingEngine:
                     bus.phase = BusPhase.TEARDOWN
                     bus.signal_position = len(bus.hops) - 1
                     bus.released_from = len(bus.hops)
-                    self._record("delivered", bus.message, bus=bus.bus_id)
+                    if self._trace_on:
+                        self._record("delivered", bus.message,
+                                     bus=bus.bus_id)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -580,7 +607,7 @@ class RoutingEngine:
             )
 
     def _record(self, kind: str, message: Message, **details: object) -> None:
-        if self.trace is not None:
+        if self._trace_on:
             self.trace.record(self._now(), kind, f"msg{message.message_id}",
                               **details)
 

@@ -4,6 +4,17 @@ Segment ``(i, l)`` is the lane-``l`` wire bundle from INC ``i``'s output
 port ``l`` to INC ``(i+1) % N``'s input port ``l``.  The grid tracks which
 virtual bus (by id) occupies each segment; all protocol engines mutate the
 grid through this class so occupancy invariants live in one place.
+
+Alongside the 2-D occupancy array the grid maintains three derived
+structures that keep the per-cycle engines off full ``N x k`` scans:
+
+* an **occupancy index** ``(segment, lane) -> bus_id`` so iterating the
+  occupied segments costs O(occupied), not O(N*k);
+* a **faulty index** ``(segment, lane) -> health`` with the same purpose
+  for the (usually tiny) set of DYING/DEAD segments;
+* a **dirty-segment set**: every mutation records which segment column
+  changed, and the compaction engine drains this set each cycle to limit
+  its candidate search to neighbourhoods where something actually moved.
 """
 
 from __future__ import annotations
@@ -33,10 +44,13 @@ class SegmentGrid:
             [None] * lanes for _ in range(nodes)
         ]
         self._occupied_count = 0
+        self._occupied_index: dict[tuple[int, int], int] = {}
         self._health: list[list[PortHealth]] = [
             [PortHealth.OK] * lanes for _ in range(nodes)
         ]
         self._faulty_count = 0
+        self._faulty_index: dict[tuple[int, int], PortHealth] = {}
+        self._dirty: set[int] = set()
         # Cumulative segment-ticks are integrated externally; the grid
         # keeps simple structural counters only.
         self.total_claims = 0
@@ -73,12 +87,13 @@ class SegmentGrid:
                 and self._occupant[segment][lane] is None)
 
     def faulty_segments(self) -> Iterator[tuple[int, int, PortHealth]]:
-        """Yield ``(segment, lane, health)`` for every non-OK segment."""
-        for segment in range(self.nodes):
-            for lane in range(self.lanes):
-                health = self._health[segment][lane]
-                if health is not PortHealth.OK:
-                    yield segment, lane, health
+        """Yield ``(segment, lane, health)`` for every non-OK segment.
+
+        Backed by the faulty index: O(faulty), in ``(segment, lane)``
+        ascending order exactly as the historical full scan produced.
+        """
+        for segment, lane in sorted(self._faulty_index):
+            yield segment, lane, self._faulty_index[(segment, lane)]
 
     def faulty_count(self) -> int:
         """Number of segments currently DYING or DEAD."""
@@ -107,19 +122,20 @@ class SegmentGrid:
     def lanes_of(self, bus_id: int) -> dict[int, int]:
         """Map ``segment -> lane`` for every segment held by ``bus_id``."""
         held = {}
-        for segment in range(self.nodes):
-            for lane in range(self.lanes):
-                if self._occupant[segment][lane] == bus_id:
-                    held[segment] = lane
+        for segment, lane in sorted(self._occupied_index):
+            if self._occupied_index[(segment, lane)] == bus_id:
+                held[segment] = lane
         return held
 
     def iter_occupied(self) -> Iterator[tuple[int, int, int]]:
-        """Yield ``(segment, lane, bus_id)`` for every occupied segment."""
-        for segment in range(self.nodes):
-            for lane in range(self.lanes):
-                bus_id = self._occupant[segment][lane]
-                if bus_id is not None:
-                    yield segment, lane, bus_id
+        """Yield ``(segment, lane, bus_id)`` for every occupied segment.
+
+        Backed by the occupancy index: O(occupied), in ``(segment, lane)``
+        ascending order exactly as the historical full scan produced.
+        """
+        index = self._occupied_index
+        for key in sorted(index):
+            yield key[0], key[1], index[key]
 
     def state_signature(self) -> tuple:
         """A hashable digest of the complete grid state.
@@ -175,6 +191,8 @@ class SegmentGrid:
             )
         self._occupant[segment][lane] = bus_id
         self._occupied_count += 1
+        self._occupied_index[(segment, lane)] = bus_id
+        self._dirty.add(segment)
         self.total_claims += 1
 
     def release(self, segment: int, lane: int, bus_id: int) -> None:
@@ -188,6 +206,8 @@ class SegmentGrid:
             )
         self._occupant[segment][lane] = None
         self._occupied_count -= 1
+        del self._occupied_index[(segment, lane)]
+        self._dirty.add(segment)
         self.total_releases += 1
 
     def move_down(self, segment: int, lane: int, bus_id: int) -> None:
@@ -214,6 +234,9 @@ class SegmentGrid:
             )
         self._occupant[segment][lane] = None
         self._occupant[segment][lane - 1] = bus_id
+        del self._occupied_index[(segment, lane)]
+        self._occupied_index[(segment, lane - 1)] = bus_id
+        self._dirty.add(segment)
 
     def move_up(self, segment: int, lane: int, bus_id: int) -> None:
         """Move a bus's claim from ``lane`` to ``lane + 1`` (evacuation only).
@@ -241,6 +264,37 @@ class SegmentGrid:
             )
         self._occupant[segment][lane] = None
         self._occupant[segment][lane + 1] = bus_id
+        del self._occupied_index[(segment, lane)]
+        self._occupied_index[(segment, lane + 1)] = bus_id
+        self._dirty.add(segment)
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+    def touch(self, segment: int) -> None:
+        """Mark a segment column dirty without changing its occupancy.
+
+        Protocol engines call this when a *non-occupancy* state change
+        (e.g. a bus phase transition) relaxes a move-legality rule at a
+        segment, so incremental compaction re-examines the neighbourhood.
+        """
+        self._dirty.add(segment % self.nodes)
+
+    def collect_dirty(self) -> list[int]:
+        """Drain and return the dirty segment columns, ascending.
+
+        Sorted so downstream consumers see a deterministic order
+        regardless of set-iteration history (which pickling perturbs).
+        """
+        if not self._dirty:
+            return []
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    def dirty_pending(self) -> int:
+        """Number of segment columns currently marked dirty."""
+        return len(self._dirty)
 
     # ------------------------------------------------------------------
     # Health
@@ -263,3 +317,8 @@ class SegmentGrid:
             self._faulty_count -= 1
             self.total_repairs += 1
         self._health[segment][lane] = health
+        if health is PortHealth.OK:
+            self._faulty_index.pop((segment, lane), None)
+        else:
+            self._faulty_index[(segment, lane)] = health
+        self._dirty.add(segment)

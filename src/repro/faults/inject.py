@@ -135,6 +135,7 @@ class FaultManager:
             inc = event.segment % self.grid.nodes
             if inc not in self.compaction.dropped_incs:
                 self.compaction.dropped_incs.add(inc)
+                self.grid.touch(inc)
                 self.stats.incs_dropped += 1
                 self._record("inc_drop", f"inc={inc}")
         for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):
@@ -173,6 +174,10 @@ class FaultManager:
             inc = event.segment % self.grid.nodes
             if inc in self.compaction.dropped_incs:
                 self.compaction.dropped_incs.discard(inc)
+                # A restored INC may immediately have legal moves again;
+                # mark its column so the incremental candidate search
+                # re-examines the neighbourhood.
+                self.grid.touch(inc)
                 self.stats.incs_restored += 1
                 self._record("inc_restore", f"inc={inc}")
         for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):

@@ -6,12 +6,17 @@ events execute in a deterministic order: lower priority value first, then
 insertion order.  Determinism matters for reproducibility of every
 experiment in this repository — two runs with the same seed must produce
 identical traces.
+
+The queue stores ``(time, priority, seq, event)`` tuples rather than the
+events themselves: tuple comparison runs entirely in C, so heap sifts
+never re-enter the interpreter.  With millions of events per run the
+ordering comparisons are the dominant heap cost, and the tuple layout
+cuts them to near the floor of what ``heapq`` can do.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SchedulingError
@@ -24,26 +29,48 @@ PRIORITY_EARLY = -10
 PRIORITY_LATE = 10
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Instances are created through :meth:`repro.sim.kernel.Simulator.schedule`
-    rather than directly.  The dataclass ordering key is
-    ``(time, priority, seq)``; ``callback`` and friends are excluded from
-    comparison.
+    rather than directly.  Ordering lives in the queue's heap entries, not
+    here; events themselves compare by identity.  ``__slots__`` keeps the
+    per-event footprint to the six fields — no ``__dict__`` allocation.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
         self.cancelled = True
+
+    def __getstate__(self) -> tuple:
+        return (self.time, self.priority, self.seq, self.callback,
+                self.label, self.cancelled)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.time, self.priority, self.seq, self.callback,
+         self.label, self.cancelled) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time!r}, priority={self.priority}, "
+                f"seq={self.seq}, label={self.label!r}{flag})")
 
 
 class EventQueue:
@@ -56,7 +83,9 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, priority, seq, event): seq is unique, so
+        # comparisons never reach the event and stay in C.
+        self._heap: list[tuple[float, int, int, Event]] = []
         # A plain integer sequence rather than itertools.count: the queue
         # is part of a run's checkpointable state, and the counter must
         # survive pickling with its exact value so post-restore pushes get
@@ -78,9 +107,10 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Insert a callback at ``time`` and return its :class:`Event`."""
-        event = Event(time, priority, self._next_seq, callback, label)
-        self._next_seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, callback, label)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -90,8 +120,9 @@ class EventQueue:
         Raises:
             SchedulingError: if the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -100,11 +131,12 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Inform the queue that one previously pushed event was cancelled.
@@ -121,8 +153,8 @@ class EventQueue:
         trips, the labels of the imminent events usually identify the
         component that is rescheduling itself forever.
         """
-        live = [event for event in self._heap if not event.cancelled]
-        return heapq.nsmallest(count, live)
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        return [entry[3] for entry in heapq.nsmallest(count, live)]
 
     def drain(self) -> Iterator[Event]:
         """Yield and remove all live events in order (for shutdown/tests)."""

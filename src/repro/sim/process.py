@@ -8,6 +8,11 @@ A *process* wraps a generator.  Each ``yield`` suspends the process:
 
 The style mirrors SimPy, implemented from scratch here because the
 repository must be self-contained.
+
+Parking and resuming allocate nothing beyond the kernel event itself:
+the callbacks handed to the scheduler are bound methods, the resume
+value rides in a slot on the process, and both classes use ``__slots__``
+so a context switch never touches a ``__dict__``.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ class Waitable:
     Waiting on an already-fired waitable resumes immediately — this removes
     a whole class of lost-wakeup races from the models.
     """
+
+    __slots__ = ("name", "_fired", "_value", "_callbacks")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -67,6 +74,9 @@ class Process:
     yielding the process from another process.
     """
 
+    __slots__ = ("sim", "name", "_generator", "finished", "result", "error",
+                 "_done", "_sent")
+
     def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any],
                  name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -80,14 +90,21 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._done = Waitable(name=f"{self.name}.done")
+        # Value delivered at the next resume; a process parks on exactly
+        # one target at a time, so a single slot suffices.
+        self._sent: Any = None
 
     # The kernel calls start() once, right after construction.
     def start(self) -> None:
-        self.sim.schedule(0, lambda: self._advance(None), label=self.name)
+        self.sim._schedule_trusted(0, self._kick, 0, self.name)
 
     def join(self) -> Waitable:
         """Return a waitable that fires when this process completes."""
         return self._done
+
+    def _kick(self) -> None:
+        sent, self._sent = self._sent, None
+        self._advance(sent)
 
     def _advance(self, sent: Any) -> None:
         if self.finished:
@@ -110,13 +127,14 @@ class Process:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay {target!r}"
                 )
-            self.sim.schedule(target, lambda: self._advance(None),
-                              label=self.name)
+            self.sim._schedule_trusted(target, self._kick, 0, self.name)
         elif isinstance(target, Waitable):
-            target.add_callback(lambda value: self._resume_later(value))
+            target.add_callback(self._resume_later)
         elif isinstance(target, Process):
-            target.join().add_callback(lambda _:
-                                       self._resume_later(target.result))
+            # ``_done`` fires with the joined process's result, so the
+            # bound method receives exactly the value the old closure
+            # looked up via ``target.result``.
+            target.join().add_callback(self._resume_later)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported {target!r}"
@@ -125,7 +143,8 @@ class Process:
     def _resume_later(self, value: Any) -> None:
         # Resume via the event queue, never synchronously inside fire(),
         # so wake-ups are ordered deterministically with other events.
-        self.sim.schedule(0, lambda: self._advance(value), label=self.name)
+        self._sent = value
+        self.sim._schedule_trusted(0, self._kick, 0, self.name)
 
     def _complete(self, value: Any) -> None:
         self.finished = True

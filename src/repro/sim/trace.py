@@ -38,6 +38,11 @@ class TraceRecorder:
         kinds: if given, only these kinds are retained (others are dropped
             at record time, keeping long simulations cheap to trace).
         capacity: optional bound; the oldest entries are discarded beyond it.
+
+    :attr:`enabled` is False when the kind filter is the empty set — the
+    recorder can never retain anything, so hot paths check this one flag
+    and skip building the record's arguments entirely (no f-strings, no
+    kwargs dict, no call).
     """
 
     def __init__(self, kinds: Optional[set[str]] = None,
@@ -46,6 +51,11 @@ class TraceRecorder:
         self.capacity = capacity
         self.entries: list[TraceEntry] = []
         self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True unless the kind filter rejects every possible entry."""
+        return self.kinds is None or len(self.kinds) > 0
 
     def record(self, time: float, kind: str, subject: str, **details: Any) -> None:
         """Append an entry unless its kind is filtered out."""

@@ -1,0 +1,40 @@
+"""The parallel sweep runner must reproduce the serial runner bit for bit."""
+
+from repro.analysis.sweep import grid, run_sweep, run_sweep_parallel
+
+
+def measure(n, k, seed):
+    # Module-level so multiprocessing can pickle it.  Derives everything
+    # from the inputs, so equal seeds force equal rows.
+    return {"value": (n * 1000 + k * 100 + seed) % 7919, "seed_used": seed}
+
+
+POINTS = grid(n=[8, 16], k=[2, 3])
+
+
+def test_parallel_rows_match_serial_exactly():
+    serial = run_sweep(POINTS, measure, root_seed=42, repeats=2)
+    parallel = run_sweep_parallel(POINTS, measure, root_seed=42, repeats=2,
+                                  processes=2)
+    assert parallel == serial
+
+
+def test_parallel_single_process_runs_inline():
+    serial = run_sweep(POINTS, measure, root_seed=7)
+    inline = run_sweep_parallel(POINTS, measure, root_seed=7, processes=1)
+    assert inline == serial
+
+
+def test_parallel_single_job_skips_pool():
+    serial = run_sweep(POINTS[:1], measure, root_seed=3)
+    single = run_sweep_parallel(POINTS[:1], measure, root_seed=3,
+                                processes=8)
+    assert single == serial
+
+
+def test_repeat_field_only_present_with_repeats():
+    rows = run_sweep_parallel(POINTS[:2], measure, root_seed=0, processes=1)
+    assert all("repeat" not in row for row in rows)
+    rows = run_sweep_parallel(POINTS[:2], measure, root_seed=0, repeats=2,
+                              processes=1)
+    assert [row["repeat"] for row in rows] == [0, 1, 0, 1]

@@ -1,0 +1,138 @@
+"""Unit tests for the kernel fast-path machinery: the executed-event
+counter, the trusted scheduling lane, and the cheap trace-enabled flag."""
+
+import pickle
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator, every
+from repro.sim.trace import TraceRecorder
+from repro.errors import SimulationError
+
+
+# ---------------------------------------------------------------------------
+# events_executed
+# ---------------------------------------------------------------------------
+
+def test_run_counts_executed_events():
+    sim = Simulator()
+    for delay in (1, 2, 3):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_step_counts_executed_events():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.step()
+    assert sim.events_executed == 1
+
+
+def test_cancelled_events_are_not_counted():
+    sim = Simulator()
+    keep = sim.schedule(1, lambda: None)
+    drop = sim.schedule(2, lambda: None)
+    sim.cancel(drop)
+    sim.run()
+    assert not keep.cancelled
+    assert sim.events_executed == 1
+
+
+def test_counter_accumulates_across_runs():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.run(until=5)
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 2
+
+
+def test_counter_updates_even_when_run_raises():
+    sim = Simulator()
+    stop = every(sim, 1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=4)
+    stop()
+    assert sim.events_executed == 4
+
+
+# ---------------------------------------------------------------------------
+# Trusted scheduling lane
+# ---------------------------------------------------------------------------
+
+def test_schedule_trusted_matches_schedule_semantics():
+    sim = Simulator()
+    fired = []
+    sim._schedule_trusted(2.0, lambda: fired.append(sim.now), 0, "t")
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.0, 2.0]
+
+
+def test_schedule_trusted_respects_priority_ordering():
+    sim = Simulator()
+    order = []
+    sim._schedule_trusted(1.0, lambda: order.append("late"), 10, "late")
+    sim._schedule_trusted(1.0, lambda: order.append("early"), -10, "early")
+    sim.run()
+    assert order == ["early", "late"]
+
+
+# ---------------------------------------------------------------------------
+# TraceRecorder.enabled
+# ---------------------------------------------------------------------------
+
+def test_trace_enabled_flag():
+    assert TraceRecorder().enabled
+    assert TraceRecorder(kinds={"fire"}).enabled
+    assert not TraceRecorder(kinds=set()).enabled
+
+
+def test_simulator_skips_disabled_recorder():
+    trace = TraceRecorder(kinds=set())
+    sim = Simulator(trace=trace)
+    assert sim._tracing is False
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert trace.entries == []
+
+
+def test_simulator_records_with_enabled_recorder():
+    trace = TraceRecorder()
+    sim = Simulator(trace=trace)
+    sim.schedule(1, lambda: None, label="tick")
+    sim.run()
+    kinds = [entry.kind for entry in trace.entries]
+    assert "schedule" in kinds and "fire" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Slotted events stay picklable (checkpointing depends on it)
+# ---------------------------------------------------------------------------
+
+def test_event_pickle_roundtrip():
+    queue = EventQueue()
+    event = queue.push(3.0, _noop, 5, "label")
+    copy = pickle.loads(pickle.dumps(event))
+    assert (copy.time, copy.priority, copy.seq, copy.label) == \
+        (3.0, 5, event.seq, "label")
+    assert copy.cancelled == event.cancelled
+    assert isinstance(copy, Event)
+
+
+def _noop():
+    return None
+
+
+def test_queue_pickle_preserves_order_and_liveness():
+    queue = EventQueue()
+    queue.push(2.0, _noop, 0, "b")
+    queue.push(1.0, _noop, 0, "a")
+    cancelled = queue.push(1.5, _noop, 0, "x")
+    cancelled.cancel()
+    queue.note_cancelled()
+    restored = pickle.loads(pickle.dumps(queue))
+    assert len(restored) == 2
+    assert [restored.pop().label for _ in range(2)] == ["a", "b"]
