@@ -21,7 +21,7 @@ import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 
-from perf_common import emit, time_scenario  # noqa: E402
+from perf_common import emit, obs_bundle, scrape, time_scenario  # noqa: E402
 
 from repro.core.compaction import CompactionEngine  # noqa: E402
 from repro.core.config import RMBConfig  # noqa: E402
@@ -68,9 +68,30 @@ def build_loaded_ring() -> tuple[SegmentGrid, dict[int, VirtualBus],
     return grid, buses, engine
 
 
+_LAST: dict[str, float] = {}
+
+
+def _attach_obs(engine: CompactionEngine):
+    """Register a pull collector so move counts read through the registry."""
+    obs = obs_bundle("off")
+    if obs is None:
+        return None
+    from repro.obs import CompactionCollector
+    obs.registry.register_collector(CompactionCollector(engine, obs.registry))
+    return obs
+
+
 def pack_quiesce() -> int:
     _, _, engine = build_loaded_ring()
+    obs = _attach_obs(engine)
     cycles = engine.quiesce()
+    if obs is not None:
+        value = scrape(obs)
+        _LAST["moves"] = value("rmb_compaction_moves")
+        _LAST["cycles_run"] = value("rmb_compaction_cycles_run")
+    else:  # trees that predate the observability layer
+        _LAST["moves"] = float(engine.stats.moves)
+        _LAST["cycles_run"] = float(engine.stats.cycles_run)
     return cycles
 
 
@@ -114,7 +135,9 @@ def main() -> None:
         "light_churn": time_scenario(light_churn),
     }
     emit("compaction", results, extra={
-        "scenario": {"nodes": NODES, "lanes": LANES, "buses": BUSES},
+        "scenario": {"nodes": NODES, "lanes": LANES, "buses": BUSES,
+                     "pack_moves": _LAST.get("moves", 0.0),
+                     "pack_cycles": _LAST.get("cycles_run", 0.0)},
     })
 
 

@@ -15,6 +15,8 @@ Usage::
 
 Environment:
     PERF_OUT_DIR: where run_all wrote the JSON (default: repo root).
+    PERF_BASELINE: alternative baseline.json path (default: alongside
+        this script).
 """
 
 from __future__ import annotations
@@ -28,18 +30,64 @@ HERE = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = HERE.parents[1]
 
 
+class GateError(Exception):
+    """A problem with the gate's inputs (missing/malformed files)."""
+
+
+def load_json(path: pathlib.Path, what: str) -> dict:
+    """Read one JSON file with errors turned into clear messages."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise GateError(f"{what} {path} cannot be read: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GateError(f"{what} {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise GateError(f"{what} {path} must hold a JSON object, "
+                        f"got {type(payload).__name__}")
+    return payload
+
+
+def load_baseline(path: pathlib.Path) -> tuple[dict, float]:
+    baseline = load_json(path, "baseline")
+    try:
+        factor = float(baseline["max_regression_factor"])
+        gates = baseline["gates"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GateError(
+            f"baseline {path} is missing or mistypes a required key "
+            f"('max_regression_factor', 'gates'): {exc}") from exc
+    if not isinstance(gates, dict):
+        raise GateError(f"baseline {path}: 'gates' must be an object")
+    return baseline, factor
+
+
 def load_bench(layer: str, out_dir: pathlib.Path) -> dict | None:
     path = out_dir / f"BENCH_{layer}.json"
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    bench = load_json(path, "bench output")
+    if not isinstance(bench.get("results"), dict):
+        raise GateError(f"bench output {path} has no 'results' object; "
+                        f"re-run run_all.py")
+    return bench
 
 
 def main() -> int:
-    baseline = json.loads((HERE / "baseline.json").read_text())
-    factor = float(baseline["max_regression_factor"])
+    baseline_path = pathlib.Path(
+        os.environ.get("PERF_BASELINE", HERE / "baseline.json"))
     out_dir = pathlib.Path(os.environ.get("PERF_OUT_DIR", REPO_ROOT))
+    try:
+        baseline, factor = load_baseline(baseline_path)
+        return check(baseline, factor, out_dir)
+    except GateError as exc:
+        print(f"perf regression gate cannot run: {exc}")
+        return 2
 
+
+def check(baseline: dict, factor: float, out_dir: pathlib.Path) -> int:
     failures = []
     for layer, metrics in baseline["gates"].items():
         bench = load_bench(layer, out_dir)
@@ -48,7 +96,7 @@ def main() -> int:
             continue
         for name, floor in metrics.items():
             row = bench["results"].get(name)
-            if row is None:
+            if row is None or "ops_per_sec" not in row:
                 failures.append(f"{layer}/{name}: scenario missing from bench")
                 continue
             measured = float(row["ops_per_sec"])

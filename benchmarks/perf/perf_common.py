@@ -97,6 +97,27 @@ def instrument_events(sim) -> Callable[[], int]:
     return read_legacy
 
 
+def obs_bundle(level: str = "off"):
+    """An :class:`Observability` bundle, when the tree has one.
+
+    At ``level="off"`` the bundle's pull collectors still scrape final
+    counts at export time, so benches read their numbers through the
+    metrics registry with zero cost inside the timed region.  Returns
+    ``None`` on trees that predate the observability layer.
+    """
+    try:
+        from repro.obs import Observability
+    except ImportError:
+        return None
+    return Observability(level)
+
+
+def scrape(obs) -> Callable[..., float]:
+    """Collect the bundle's registry once and return its value reader."""
+    obs.registry.collect()
+    return obs.registry.value
+
+
 def supports_kwarg(callable_obj, name: str) -> bool:
     """True when ``callable_obj`` accepts keyword argument ``name``."""
     try:

@@ -1,4 +1,4 @@
-"""Run the whole perf suite: kernel, compaction, end-to-end.
+"""Run the whole perf suite: kernel, compaction, end-to-end, obs overhead.
 
 Each bench runs in a fresh interpreter so one layer's warm caches and
 allocator state cannot leak into another's numbers.  Emits the three
@@ -21,7 +21,8 @@ import subprocess
 import sys
 
 HERE = pathlib.Path(__file__).resolve().parent
-BENCHES = ("bench_kernel.py", "bench_compaction.py", "bench_end2end.py")
+BENCHES = ("bench_kernel.py", "bench_compaction.py", "bench_end2end.py",
+           "bench_obs_overhead.py")
 
 
 def main() -> int:

@@ -89,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="runtime invariant monitor frequency: every "
                           "compaction cycle, every 16th, or disabled "
                           "(read-only; results are identical at all levels)")
+    run.add_argument("--obs-level", choices=("off", "sampled", "full"),
+                     default="off",
+                     help="observability level: metrics + per-message spans "
+                          "(sampled records 1-in-8 spans; observation is "
+                          "passive, results are identical at all levels)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write metrics in Prometheus text format "
+                          "(implies --obs-level full unless set)")
+    run.add_argument("--spans-out", default=None, metavar="PATH",
+                     help="write per-message span events as JSONL "
+                          "(implies --obs-level full unless set)")
 
     race = commands.add_parser(
         "race", help="race one permutation across all networks")
@@ -151,8 +162,9 @@ def command_run(args: argparse.Namespace) -> int:
     if args.watchdog:
         from repro.supervision import WatchdogConfig
         watchdog = WatchdogConfig()
+    obs = _build_obs(args)
     ring = RMBRing(config, seed=args.seed, probe_period=8.0,
-                   fault_plan=fault_plan, watchdog=watchdog)
+                   fault_plan=fault_plan, watchdog=watchdog, obs=obs)
     rng = RandomStream(args.seed, name="cli")
     duration = max(1, int(args.messages / (args.rate * args.nodes)))
     schedule = bernoulli_schedule(
@@ -177,7 +189,35 @@ def command_run(args: argparse.Namespace) -> int:
     ring.sim.run(until=run_until)
     ring.drain()
     _report_run(ring, title, args.stats_json)
+    _export_obs(obs, args)
     return 0
+
+
+def _build_obs(args: argparse.Namespace):
+    """The run's observability bundle, or ``None`` when nothing asked.
+
+    Returning ``None`` (rather than an ``off`` bundle) keeps an
+    unobserved run's construction byte-for-byte what it was before the
+    observability layer existed.
+    """
+    level = args.obs_level
+    if level == "off" and (args.metrics_out or args.spans_out):
+        level = "full"
+    if level == "off" and not (args.metrics_out or args.spans_out):
+        return None
+    from repro.obs import Observability
+    return Observability(level)
+
+
+def _export_obs(obs, args: argparse.Namespace) -> None:
+    if obs is None:
+        return
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+    if args.spans_out:
+        obs.write_spans(args.spans_out)
+    print()
+    print(obs.report())
 
 
 def _command_resume(args: argparse.Namespace) -> int:

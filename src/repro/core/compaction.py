@@ -44,7 +44,7 @@ full-scan path for the determinism property tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.config import RMBConfig
 from repro.core.segments import SegmentGrid
@@ -57,6 +57,9 @@ from repro.core.status import (
 from repro.core.virtual_bus import BusPhase, VirtualBus
 from repro.errors import ProtocolError
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.wiring import Observability
 
 
 def _zero_time() -> float:
@@ -106,12 +109,17 @@ class CompactionEngine:
         buses: dict[int, VirtualBus],
         trace: Optional[TraceRecorder] = None,
         now: Optional[callable] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.config = config
         self.grid = grid
         self.buses = buses
         self.trace = trace
         self._now = now if now is not None else _zero_time
+        # One-branch obs discipline (see repro.obs): lane moves attach to
+        # the migrating message's span only when observability is armed.
+        self.obs = obs
+        self._obs_on = obs is not None and obs.enabled
         self.stats = CompactionStats()
         self.recent_moves: list[Move] = []
         self.keep_move_log = False
@@ -222,6 +230,11 @@ class CompactionEngine:
                 self._now(), "compaction_move", f"bus{bus.bus_id}",
                 segment=segment, lane_from=lane, lane_to=lane - 1,
                 cycle=cycle, condition=condition,
+            )
+        if self._obs_on:
+            self.obs.spans.event(
+                bus.message.message_id, self._now(), "lane_move",
+                segment=segment, lane_from=lane, lane_to=lane - 1,
             )
 
     # ------------------------------------------------------------------
@@ -497,6 +510,11 @@ class CompactionEngine:
                 self._now(), "evacuation_move", f"bus{bus.bus_id}",
                 segment=segment, lane_from=lane, lane_to=lane + 1,
                 cycle=cycle,
+            )
+        if self._obs_on:
+            self.obs.spans.event(
+                bus.message.message_id, self._now(), "lane_move",
+                segment=segment, lane_from=lane, lane_to=lane + 1,
             )
 
     # ------------------------------------------------------------------

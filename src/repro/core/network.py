@@ -34,6 +34,7 @@ from repro.supervision.watchdog import Watchdog, WatchdogConfig
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> faults cycle
     from repro.faults.plan import FaultPlan
+    from repro.obs.wiring import Observability
 
 
 class RMBRing:
@@ -80,6 +81,7 @@ class RMBRing:
         probe_period: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        obs: Optional["Observability"] = None,
         name: str = "rmb",
     ) -> None:
         self.config = config
@@ -89,6 +91,7 @@ class RMBRing:
         self.seeds = SeedSequence(seed)
         self.grid = SegmentGrid(config.nodes, config.lanes)
         self.buses: dict[int, VirtualBus] = {}
+        self.obs = obs
         self.routing = RoutingEngine(
             config,
             self.grid,
@@ -97,10 +100,11 @@ class RMBRing:
             schedule=SimScheduler(self.sim, label=f"{name}.retry"),
             rng=self.seeds.stream("retry"),
             trace=self.trace,
+            obs=obs,
         )
         self.compaction = CompactionEngine(
             config, self.grid, self.buses,
-            trace=self.trace, now=SimClock(self.sim),
+            trace=self.trace, now=SimClock(self.sim), obs=obs,
         )
         self.controllers: Optional[list[CycleController]] = None
         self._global_driver: Optional[GlobalCycleDriver] = None
@@ -144,6 +148,7 @@ class RMBRing:
                 compaction=self.compaction,
                 monitor=self.monitor,
                 trace=self.trace,
+                obs=obs,
             )
             self.faults.arm()
             if probe_period is not None:
@@ -157,7 +162,24 @@ class RMBRing:
             self.watchdog = Watchdog(
                 self.sim, self.routing, config=watchdog,
                 controllers=self.controllers, name=f"{name}.watchdog",
+                obs=obs,
             )
+        if obs is not None:
+            # Pull collectors run only at export/report time (zero
+            # run-time cost), so they are registered even at level "off" —
+            # that is how the perf benchmarks read final counts through
+            # the registry without perturbing the timed region.
+            from repro.obs.wiring import (
+                CompactionCollector,
+                KernelCollector,
+                RingStateCollector,
+            )
+            registry = obs.registry
+            registry.register_collector(KernelCollector(self.sim, registry))
+            registry.register_collector(
+                RingStateCollector(self.routing, self.grid, registry))
+            registry.register_collector(
+                CompactionCollector(self.compaction, registry))
 
     def _build_cycle_machinery(self) -> None:
         config = self.config

@@ -26,7 +26,7 @@ Nacked or timed-out requests retry after a configurable, jittered backoff.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.core.config import RMBConfig
 from repro.core.flits import Message, MessageRecord
@@ -37,6 +37,9 @@ from repro.errors import ProtocolError, RoutingError
 from repro.sim.rng import RandomStream
 from repro.sim.trace import TraceRecorder
 from repro.supervision.admission import ADMIT, SHED, AdmissionController
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.wiring import Observability
 
 
 class _RetryRequeue:
@@ -69,6 +72,7 @@ class RoutingEngine:
         schedule: Callable[[float, Callable[[], None]], object],
         rng: Optional[RandomStream] = None,
         trace: Optional[TraceRecorder] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.config = config
         self.grid = grid
@@ -81,6 +85,27 @@ class RoutingEngine:
         # recorder filtered to no kinds) costs one branch at each record
         # site instead of argument packing plus a call per event.
         self._trace_on = trace is not None and trace.enabled
+        # Observability follows the same one-branch discipline; when on,
+        # instruments are resolved once here so the lifecycle sites touch
+        # plain attributes.  Observation is passive (no RNG, no
+        # scheduling), so attaching it never changes simulation results.
+        self.obs = obs
+        self._obs_on = obs is not None and obs.enabled
+        if self._obs_on:
+            registry = obs.registry
+            self._spans = obs.spans
+            self._h_setup = registry.histogram(
+                "rmb_setup_latency_ticks",
+                help="Injection to circuit establishment, per attempt")
+            self._h_complete = registry.histogram(
+                "rmb_completion_latency_ticks",
+                help="First injection to Fack return, per message")
+            self._h_retries = registry.histogram(
+                "rmb_retries_per_message",
+                help="Retry attempts accumulated by completed messages")
+            self._h_head_stalls = registry.histogram(
+                "rmb_head_stalls_per_message",
+                help="Header stall ticks accumulated by completed messages")
         self._next_bus_id = 0
         self._queues: list[Deque[Message]] = [deque() for _ in range(config.nodes)]
         self._tx_active = [0] * config.nodes
@@ -89,6 +114,8 @@ class RoutingEngine:
         # shed or parked per source INC until outstanding load drops.
         self.admission = AdmissionController(config.admission_limit,
                                              config.admission_policy)
+        if self._obs_on:
+            self.admission.attach_metrics(obs.registry)
         self._deferred: list[Deque[Message]] = [deque()
                                                 for _ in range(config.nodes)]
         self._awaiting_retry_by_node = [0] * config.nodes
@@ -138,6 +165,8 @@ class RoutingEngine:
         if self._trace_on:
             self._record("request", message, source=message.source,
                          destination=message.destination)
+        if self._obs_on:
+            self._spans.begin(message, self._now())
         verdict = self.admission.decide(self.outstanding(message.source))
         if verdict == ADMIT:
             self._queues[message.source].append(message)
@@ -145,10 +174,14 @@ class RoutingEngine:
             record.shed = True
             self.shed += 1
             self._record("shed", message, node=message.source)
+            if self._obs_on:
+                self._spans.event(message.message_id, self._now(), "shed")
         else:
             record.deferred += 1
             self._deferred[message.source].append(message)
             self._record("defer", message, node=message.source)
+            if self._obs_on:
+                self._spans.event(message.message_id, self._now(), "defer")
         return record
 
     def outstanding(self, node: int) -> int:
@@ -227,6 +260,9 @@ class RoutingEngine:
                 self.admission.note_released()
                 self._queues[node].append(message)
                 self._record("admit_deferred", message, node=node)
+                if self._obs_on:
+                    self._spans.event(message.message_id, self._now(),
+                                      "admit_deferred")
 
     def _insertion_lane(self, node: int) -> Optional[int]:
         """Lane new requests enter on at ``node``: the highest healthy lane.
@@ -251,6 +287,9 @@ class RoutingEngine:
         self.fault_nacked += 1
         self._record("fault_nack", message, node=message.source,
                      reason="source_column_dead")
+        if self._obs_on:
+            self._spans.event(message.message_id, self._now(), "fault_nack",
+                              reason="source_column_dead")
         self._schedule_retry_for(record, message)
 
     def _inject(self, message: Message, top: int) -> None:
@@ -274,6 +313,9 @@ class RoutingEngine:
         self.injected += 1
         if self._trace_on:
             self._record("inject", message, bus=bus.bus_id, lane=top)
+        if self._obs_on:
+            self._spans.event(message.message_id, self._now(), "inject",
+                              lane=top)
         self._on_header_advanced(bus)
 
     # ------------------------------------------------------------------
@@ -295,6 +337,10 @@ class RoutingEngine:
                 self.fault_nacked += 1
                 self._record("fault_nack", bus.message, bus=bus.bus_id,
                              dead_column=next_segment)
+                if self._obs_on:
+                    self._spans.event(bus.message.message_id, self._now(),
+                                      "fault_nack", reason="dead_column",
+                                      segment=next_segment)
                 self._begin_nack_return(bus, timed_out=False)
                 continue
             lane = self._pick_extension_lane(next_segment, bus.head_lane())
@@ -337,6 +383,9 @@ class RoutingEngine:
             self.timed_out += 1
             self._record("header_timeout", bus.message, bus=bus.bus_id,
                          hops=len(bus.hops))
+            if self._obs_on:
+                self._spans.event(bus.message.message_id, self._now(),
+                                  "header_timeout", hops=len(bus.hops))
             self._begin_nack_return(bus, timed_out=True)
 
     def _on_header_advanced(self, bus: VirtualBus) -> None:
@@ -358,6 +407,9 @@ class RoutingEngine:
                 self.nacked += 1
                 self._record("nack", message, bus=bus.bus_id,
                              busy_tap=at_node)
+                if self._obs_on:
+                    self._spans.event(message.message_id, self._now(),
+                                      "nack", busy=at_node)
                 self._begin_nack_return(bus, timed_out=False)
                 return
         if not bus.complete:
@@ -367,11 +419,17 @@ class RoutingEngine:
             bus.signal_position = len(bus.hops) - 1
             if self._trace_on:
                 self._record("hack", message, bus=bus.bus_id)
+            if self._obs_on:
+                self._spans.event(message.message_id, self._now(), "hack",
+                                  hops=len(bus.hops))
         else:
             bus.record.nacks += 1
             self.nacked += 1
             self._record("nack", message, bus=bus.bus_id,
                          busy_destination=bus.destination)
+            if self._obs_on:
+                self._spans.event(message.message_id, self._now(), "nack",
+                                  busy=bus.destination)
             self._begin_nack_return(bus, timed_out=False)
 
     def _reserve_rx(self, bus: VirtualBus, node: int) -> bool:
@@ -414,6 +472,12 @@ class RoutingEngine:
                     if self._trace_on:
                         self._record("established", bus.message,
                                      bus=bus.bus_id)
+                    if self._obs_on:
+                        record = bus.record
+                        self._h_setup.observe(record.established_at
+                                              - record.injected_at)
+                        self._spans.event(bus.message.message_id,
+                                          self._now(), "established")
             elif bus.phase in (BusPhase.NACK_RETURN, BusPhase.TEARDOWN):
                 self._release_step(bus)
 
@@ -442,6 +506,14 @@ class RoutingEngine:
             self.completed += 1
             if self._trace_on:
                 self._record("complete", bus.message, bus=bus.bus_id)
+            if self._obs_on:
+                record = bus.record
+                self._h_complete.observe(record.completed_at
+                                         - record.injected_at)
+                self._h_retries.observe(record.retries)
+                self._h_head_stalls.observe(record.head_stall_ticks)
+                self._spans.event(bus.message.message_id, self._now(),
+                                  "complete", retries=record.retries)
             if self.on_complete is not None:
                 self.on_complete(bus.record)
         else:
@@ -465,6 +537,9 @@ class RoutingEngine:
             self.abandoned += 1
             record.abandoned = True
             self._record("abandon", message)
+            if self._obs_on:
+                self._spans.event(message.message_id, self._now(), "abandon",
+                                  retries=record.retries)
             return
         record.retries += 1
         # backoff_floor is the number of attempts forgiven by a watchdog
@@ -477,6 +552,9 @@ class RoutingEngine:
             delay += self._rng.uniform(0, self.config.retry_jitter * delay)
         self._awaiting_retry += 1
         self._awaiting_retry_by_node[message.source] += 1
+        if self._obs_on:
+            self._spans.event(message.message_id, self._now(), "retry",
+                              attempt=record.retries, delay=delay)
         self._schedule(delay, _RetryRequeue(self, message))
 
     # ------------------------------------------------------------------
@@ -500,6 +578,9 @@ class RoutingEngine:
         self.nacked += 1
         self._record("watchdog_teardown", bus.message, bus=bus.bus_id,
                      phase=bus.phase.value)
+        if self._obs_on:
+            self._spans.event(bus.message.message_id, self._now(),
+                              "watchdog_teardown", phase=bus.phase.value)
         self._begin_nack_return(bus, timed_out=False)
         return True
 
@@ -545,6 +626,10 @@ class RoutingEngine:
         self._record("fault_kill", bus.message, bus=bus.bus_id,
                      segment=segment, lane=lane,
                      phase=bus.phase.value, delivered=delivered)
+        if self._obs_on:
+            self._spans.event(bus.message.message_id, self._now(),
+                              "fault_kill", segment=segment, lane=lane,
+                              delivered=delivered)
         if bus.phase not in (BusPhase.TEARDOWN, BusPhase.NACK_RETURN):
             bus.phase = BusPhase.TEARDOWN if delivered else BusPhase.NACK_RETURN
             bus.signal_position = len(bus.hops) - 1
@@ -562,6 +647,9 @@ class RoutingEngine:
         for bus in list(self.buses.values()):
             if bus.phase is BusPhase.STREAMING:
                 if bus.data_sent < bus.message.data_flits:
+                    if bus.data_sent == 0 and self._obs_on:
+                        self._spans.event(bus.message.message_id,
+                                          self._now(), "first_data")
                     bus.data_sent += 1
                 else:
                     bus.phase = BusPhase.DRAINING
@@ -583,6 +671,10 @@ class RoutingEngine:
                     if self._trace_on:
                         self._record("tap_delivered", bus.message,
                                      bus=bus.bus_id, node=tap_node)
+                    if self._obs_on:
+                        self._spans.event(bus.message.message_id,
+                                          self._now(), "tap_delivered",
+                                          node=tap_node)
                 if bus.signal_position >= bus.span:
                     bus.record.delivered_at = self._now()
                     self.delivered += 1
@@ -594,6 +686,9 @@ class RoutingEngine:
                     if self._trace_on:
                         self._record("delivered", bus.message,
                                      bus=bus.bus_id)
+                    if self._obs_on:
+                        self._spans.event(bus.message.message_id,
+                                          self._now(), "delivered")
 
     # ------------------------------------------------------------------
     # Helpers

@@ -127,6 +127,17 @@ class SegmentGrid:
                 held[segment] = lane
         return held
 
+    def lane_occupancy(self) -> list[int]:
+        """Occupied-segment count per lane (observability scrape).
+
+        Under compaction the profile should skew toward lane 0 — the
+        bottom-packing the paper's Figure 5 process works toward.
+        """
+        counts = [0] * self.lanes
+        for (_, lane) in self._occupied_index:
+            counts[lane] += 1
+        return counts
+
     def iter_occupied(self) -> Iterator[tuple[int, int, int]]:
         """Yield ``(segment, lane, bus_id)`` for every occupied segment.
 

@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.wiring import Observability
 
 from repro.core.segments import SegmentGrid
 from repro.core.status import PortHealth
@@ -89,6 +92,7 @@ class FaultManager:
         compaction=None,
         monitor=None,
         trace: Optional[TraceRecorder] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         plan.validate(grid.nodes, grid.lanes)
         self.plan = plan
@@ -98,6 +102,10 @@ class FaultManager:
         self.compaction = compaction
         self.monitor = monitor
         self.trace = trace
+        # Health transitions as first-class metrics: one kind-labelled
+        # counter per applied transition when observability is armed.
+        self.obs = obs
+        self._obs_on = obs is not None and obs.enabled
         self.stats = FaultStats()
         self._epoch: dict[tuple[int, int], int] = {}
         self._armed = False
@@ -203,3 +211,9 @@ class FaultManager:
     def _record(self, kind: str, subject: str, **detail) -> None:
         if self.trace is not None:
             self.trace.record(self.sim.now, kind, subject, **detail)
+        if self._obs_on:
+            self.obs.registry.counter(
+                "rmb_fault_events_total",
+                help="Fault-layer transitions applied, by kind",
+                kind=kind,
+            ).inc()

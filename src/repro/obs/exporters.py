@@ -1,0 +1,294 @@
+"""Exporters: Prometheus text format, JSONL span streams, human report.
+
+The Prometheus writer follows the text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers, label values quoted with
+``\\``, ``"`` and newline escaped, histograms exported as cumulative
+``_bucket{le=...}`` series plus ``_sum`` / ``_count``.  A matching
+parser is provided so tests can assert validity and escaping
+round-trips without external dependencies.
+
+The JSONL span writer emits one JSON object per span *event* (not per
+span) with deterministic key order — a streamable, diffable format that
+the committed golden fixtures byte-compare against.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free annotations
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanCollector
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+# ---------------------------------------------------------------------------
+# Escaping (Prometheus text exposition rules)
+# ---------------------------------------------------------------------------
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
+    return (value.replace("\\", "\\\\")
+                 .replace("\"", "\\\"")
+                 .replace("\n", "\\n"))
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follower = value[index + 1]
+            if follower == "\\":
+                out.append("\\")
+            elif follower == "\"":
+                out.append("\"")
+            elif follower == "n":
+                out.append("\n")
+            else:                      # unknown escape: literal, per spec
+                out.append(follower)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string: backslash and newline only (no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    """Integral values print without a decimal point (stable diffs)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(labels: Iterable[tuple[str, str]]) -> str:
+    items = [f'{key}="{escape_label_value(value)}"' for key, value in labels]
+    return "{" + ",".join(items) + "}" if items else ""
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text writer
+# ---------------------------------------------------------------------------
+
+def prometheus_text(registry: "MetricsRegistry", collect: bool = True) -> str:
+    """Render every instrument in Prometheus text exposition format.
+
+    Args:
+        registry: the instruments to export.
+        collect: run the registry's pull collectors first (default), so
+            scrape-style gauges are fresh.
+    """
+    if collect:
+        registry.collect()
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {registry.type_of(name)}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name}{_label_block(instrument.labels)} "
+                         f"{_format_number(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative()
+            for bound, running in zip(instrument.bounds, cumulative):
+                labels = instrument.labels + (("le", _format_number(bound)),)
+                lines.append(f"{name}_bucket{_label_block(labels)} {running}")
+            labels = instrument.labels + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_label_block(labels)} "
+                         f"{instrument.count}")
+            lines.append(f"{name}_sum{_label_block(instrument.labels)} "
+                         f"{_format_number(instrument.sum)}")
+            lines.append(f"{name}_count{_label_block(instrument.labels)} "
+                         f"{instrument.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: "MetricsRegistry", path: str) -> None:
+    """Write :func:`prometheus_text` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text parser (for tests and the CLI's format self-check)
+# ---------------------------------------------------------------------------
+
+def _parse_labels(block: str, line: str) -> tuple[tuple[str, str], ...]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: list[tuple[str, str]] = []
+    index = 0
+    while index < len(block):
+        equals = block.index("=", index)
+        key = block[index:equals]
+        if not key.isidentifier():
+            raise ValueError(f"bad label name {key!r} in line {line!r}")
+        if block[equals + 1] != "\"":
+            raise ValueError(f"unquoted label value in line {line!r}")
+        cursor = equals + 2
+        raw: list[str] = []
+        while True:
+            if cursor >= len(block):
+                raise ValueError(f"unterminated label value in {line!r}")
+            char = block[cursor]
+            if char == "\\":
+                raw.append(block[cursor:cursor + 2])
+                cursor += 2
+                continue
+            if char == "\"":
+                break
+            raw.append(char)
+            cursor += 1
+        labels.append((key, unescape_label_value("".join(raw))))
+        index = cursor + 1
+        if index < len(block):
+            if block[index] != ",":
+                raise ValueError(f"expected ',' between labels in {line!r}")
+            index += 1
+    return tuple(labels)
+
+
+def parse_prometheus_text(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Strict enough to serve as a validity check: raises ``ValueError`` on
+    malformed lines, unknown escapes are tolerated per the spec, and
+    ``# HELP`` / ``# TYPE`` headers are validated for shape.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"malformed comment line {line!r}")
+            if parts[1] == "TYPE" and len(parts) >= 4 and parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type in {line!r}")
+            continue
+        body = line
+        if "{" in body:
+            brace = body.index("{")
+            name = body[:brace]
+            close = body.rindex("}")
+            labels = _parse_labels(body[brace + 1:close], line)
+            rest = body[close + 1:].strip()
+        else:
+            name, _, rest = body.partition(" ")
+            labels = ()
+            rest = rest.strip()
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"bad metric name {name!r} in line {line!r}")
+        value_text = rest.split()[0] if rest.split() else ""
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)    # raises ValueError when malformed
+        samples[(name, labels)] = value
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# JSONL span stream
+# ---------------------------------------------------------------------------
+
+def spans_jsonl_lines(collector: "SpanCollector") -> list[str]:
+    """One deterministic JSON line per span event, ordered by message id.
+
+    Every line carries the span identity (``msg``, ``src``, ``dst``)
+    plus the event's time, kind, and attributes — self-describing rows
+    that stream, grep, and diff well.
+    """
+    lines: list[str] = []
+    for span in collector.spans():
+        for event in span.events:
+            row: dict[str, Any] = {
+                "msg": span.message_id,
+                "src": span.source,
+                "dst": span.destination,
+                "t": event.time,
+                "event": event.kind,
+            }
+            for key, value in event.attrs:
+                row[key] = value
+            lines.append(json.dumps(row, sort_keys=True,
+                                    separators=(",", ":")))
+    return lines
+
+
+def write_spans_jsonl(collector: "SpanCollector", path: str) -> None:
+    """Write the span stream to ``path`` (one JSON object per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in spans_jsonl_lines(collector):
+            handle.write(line + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Human report
+# ---------------------------------------------------------------------------
+
+def render_report(registry: "MetricsRegistry",
+                  spans: Optional["SpanCollector"] = None,
+                  collect: bool = True) -> str:
+    """A compact human summary: counters, histogram quantiles, gauges.
+
+    This is the ``obs report`` exporter: what an operator reads after a
+    run, as opposed to what a scraper ingests.
+    """
+    if collect:
+        registry.collect()
+    counters: list[str] = []
+    gauges: list[str] = []
+    histograms: list[str] = []
+    for instrument in registry.instruments():
+        label = instrument.name + (
+            "{" + ",".join(f"{k}={v}" for k, v in instrument.labels) + "}"
+            if instrument.labels else "")
+        if isinstance(instrument, Counter):
+            counters.append(f"  {label:<52} {_format_number(instrument.value):>12}")
+        elif isinstance(instrument, Gauge):
+            gauges.append(f"  {label:<52} {_format_number(instrument.value):>12}")
+        elif isinstance(instrument, Histogram):
+            histograms.append(
+                f"  {label:<40} n={instrument.count:<7} "
+                f"mean={instrument.mean:>8.1f} p50={instrument.quantile(0.5):>8.1f} "
+                f"p95={instrument.quantile(0.95):>8.1f} "
+                f"p99={instrument.quantile(0.99):>8.1f}")
+    sections: list[str] = ["== observability report =="]
+    if counters:
+        sections.append("counters:")
+        sections.extend(counters)
+    if histograms:
+        sections.append("histograms (ticks):")
+        sections.extend(histograms)
+    if gauges:
+        sections.append("gauges (scraped at report time):")
+        sections.extend(gauges)
+    if spans is not None and len(spans):
+        complete = [span for span in spans.spans()
+                    if span.duration() is not None]
+        durations = sorted(span.duration() for span in complete)
+        line = (f"spans: {len(spans)} recorded "
+                f"(1 in {spans.sample_every}), {len(complete)} complete")
+        if durations:
+            mean = sum(durations) / len(durations)
+            line += (f", duration mean={mean:.1f} "
+                     f"max={durations[-1]:.1f} ticks")
+        sections.append(line)
+    return "\n".join(sections)

@@ -95,6 +95,14 @@ class Simulator:
         """Number of live events still queued."""
         return len(self._queue)
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Kernel state for observability scrapes (read-only)."""
+        return {
+            "events_executed": float(self.events_executed),
+            "pending_events": float(self.pending_events),
+            "now": self._now,
+        }
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

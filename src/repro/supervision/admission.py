@@ -19,7 +19,10 @@ routing engine, which owns the queues being protected.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
 
 #: decide() verdicts.
 ADMIT = "admit"
@@ -51,22 +54,48 @@ class AdmissionController:
         self.deferred = 0
         self.released = 0
         self.peak_outstanding = 0
+        # Populated by attach_metrics(): verdict -> Counter, plus the
+        # released counter.  None keeps decide() at one extra branch for
+        # unobserved runs.
+        self._metric_verdicts: Optional[dict] = None
+        self._metric_released = None
 
     @property
     def enabled(self) -> bool:
         return self.limit is not None
 
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Register per-verdict decision counters with ``registry``.
+
+        Admission decisions become first-class metrics: the push side of
+        supervision observability (the flat :meth:`summary` remains the
+        run-report path).
+        """
+        self._metric_verdicts = {
+            verdict: registry.counter(
+                "rmb_admission_decisions_total",
+                help="Admission verdicts by outcome", verdict=verdict)
+            for verdict in (ADMIT, SHED, DEFER)
+        }
+        self._metric_released = registry.counter(
+            "rmb_admission_released_total",
+            help="Deferred requests released into the real queues")
+
     def decide(self, outstanding: int) -> str:
         """Verdict for one submission given the source's outstanding count."""
         self.peak_outstanding = max(self.peak_outstanding, outstanding)
         if self.limit is None or outstanding < self.limit:
+            verdict = ADMIT
             self.admitted += 1
-            return ADMIT
-        if self.policy == SHED:
+        elif self.policy == SHED:
+            verdict = SHED
             self.shed += 1
-            return SHED
-        self.deferred += 1
-        return DEFER
+        else:
+            verdict = DEFER
+            self.deferred += 1
+        if self._metric_verdicts is not None:
+            self._metric_verdicts[verdict].inc()
+        return verdict
 
     def may_release(self, outstanding: int) -> bool:
         """May one deferred request be admitted now?"""
@@ -75,6 +104,8 @@ class AdmissionController:
     def note_released(self) -> None:
         """A deferred request left the holding queue for the real queue."""
         self.released += 1
+        if self._metric_released is not None:
+            self._metric_released.inc()
 
     def summary(self) -> dict[str, float]:
         """Flat counters for run reports."""

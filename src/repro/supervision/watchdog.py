@@ -47,6 +47,7 @@ from repro.supervision.incidents import Incident, IncidentLog
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
     from repro.core.cycles import CycleController
     from repro.core.routing import RoutingEngine
+    from repro.obs.wiring import Observability
 
 #: Recovery actions.
 FORCE_TEARDOWN = "force_teardown"
@@ -125,9 +126,14 @@ class Watchdog:
         config: Optional[WatchdogConfig] = None,
         controllers: Optional[Sequence["CycleController"]] = None,
         name: str = "watchdog",
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.config = config if config is not None else WatchdogConfig()
         self.incidents = IncidentLog()
+        # Incidents as first-class metrics: every detection increments a
+        # (condition, action)-labelled counter when observability is armed.
+        self.obs = obs
+        self._obs_on = obs is not None and obs.enabled
         self._sim = sim
         self._routing = routing
         self._controllers = list(controllers) if controllers else None
@@ -241,3 +247,9 @@ class Watchdog:
             Incident(time=now, condition=condition, subject=subject,
                      action=action, detail=detail)
         )
+        if self._obs_on:
+            self.obs.registry.counter(
+                "rmb_watchdog_incidents_total",
+                help="Watchdog detections by condition and recovery action",
+                condition=condition, action=action,
+            ).inc()

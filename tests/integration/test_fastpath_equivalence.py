@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -98,6 +99,7 @@ def run_and_observe(seed: int, plan: FaultPlan | None, *,
     return observables(restored), manifest
 
 
+@pytest.mark.slow
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=2**16),
        plan=fault_plans(),
@@ -114,6 +116,7 @@ def test_incremental_compaction_matches_reference(seed, plan, snapshot_at):
     assert fast_manifest == slow_manifest
 
 
+@pytest.mark.slow
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=2**16),
        plan=fault_plans(),

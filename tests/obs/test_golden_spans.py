@@ -1,0 +1,46 @@
+"""Golden-fixture tests: span JSONL output is byte-stable across PRs.
+
+The fixtures are produced by ``tests/fixtures/regen_span_fixtures.py``;
+these tests rebuild the same seeded runs in memory and require the
+rendered stream to match the committed files byte for byte.  A failure
+here means either nondeterminism crept into span recording (a bug) or
+the span format changed (rerun the regen script and commit the diff).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+FIXTURES_DIR = pathlib.Path(__file__).resolve().parents[1] / "fixtures"
+
+spec = importlib.util.spec_from_file_location(
+    "regen_span_fixtures", FIXTURES_DIR / "regen_span_fixtures.py")
+regen = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(regen)
+
+
+@pytest.mark.parametrize("name", sorted(regen.FIXTURES))
+def test_span_stream_matches_committed_fixture(name):
+    committed = (FIXTURES_DIR / name).read_text(encoding="utf-8")
+    assert regen.render(name) == committed
+
+
+@pytest.mark.parametrize("name", sorted(regen.FIXTURES))
+def test_fixture_lines_are_canonical_json(name):
+    for line in (FIXTURES_DIR / name).read_text().splitlines():
+        row = json.loads(line)
+        assert {"msg", "src", "dst", "t", "event"} <= set(row)
+        assert line == json.dumps(row, sort_keys=True,
+                                  separators=(",", ":"))
+
+
+def test_fault_fixture_pins_the_recovery_vocabulary():
+    """The fault run must exercise the refusal/recovery span events."""
+    events = {json.loads(line)["event"]
+              for line in (FIXTURES_DIR /
+                           "spans_fault_small.jsonl").read_text().splitlines()}
+    assert {"submit", "inject", "hack", "established", "first_data",
+            "delivered", "complete", "lane_move", "retry",
+            "fault_kill"} <= events

@@ -1,0 +1,123 @@
+"""Property tests for histogram algebra and Prometheus escaping.
+
+The histogram merge is the parallel-aggregation primitive (a sweep
+worker's histogram folds into the sweep total), so its algebraic
+properties carry real weight: merge must be associative, conserve the
+sample count and sum, and never break the monotone-CDF invariant that
+the quantile estimator relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Histogram,
+    escape_help,
+    escape_label_value,
+    parse_prometheus_text,
+    prometheus_text,
+    unescape_label_value,
+)
+from repro.obs.metrics import MetricsRegistry
+
+BOUNDS = (1.0, 4.0, 16.0, 64.0)
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=200.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=40)
+
+
+def fill(values):
+    hist = Histogram("h", buckets=BOUNDS)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+@given(a=samples, b=samples, c=samples)
+def test_merge_is_associative(a, b, c):
+    """(a + b) + c == a + (b + c), bucket by bucket."""
+    left = fill(a)
+    left.merge(fill(b))
+    left.merge(fill(c))
+    inner = fill(b)
+    inner.merge(fill(c))
+    right = fill(a)
+    right.merge(inner)
+    assert left.counts == right.counts
+    assert left.count == right.count
+    # Bucket counts are exactly associative; the float sum only up to
+    # the usual addition-reordering error.
+    assert left.sum == pytest.approx(right.sum)
+
+
+@given(a=samples, b=samples)
+def test_merge_conserves_count_and_sum(a, b):
+    merged = fill(a)
+    merged.merge(fill(b))
+    assert merged.count == len(a) + len(b)
+    assert merged.sum == pytest.approx(sum(a) + sum(b))
+    assert sum(merged.counts) == merged.count
+
+
+@given(values=samples)
+def test_cumulative_is_monotone_and_totals_count(values):
+    hist = fill(values)
+    cumulative = hist.cumulative()
+    assert all(x <= y for x, y in zip(cumulative, cumulative[1:]))
+    assert (cumulative[-1] if cumulative else 0) == hist.count
+
+
+@given(values=samples,
+       fractions=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                          min_size=2, max_size=6))
+def test_quantile_is_nondecreasing_in_fraction(values, fractions):
+    """A monotone CDF: higher fractions never yield smaller estimates."""
+    hist = fill(values)
+    ordered = sorted(fractions)
+    estimates = [hist.quantile(fraction) for fraction in ordered]
+    assert all(x <= y for x, y in zip(estimates, estimates[1:]))
+    assert all(0.0 <= e <= BOUNDS[-1] for e in estimates)
+
+
+label_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30)
+
+
+@given(value=label_text)
+def test_label_escaping_round_trips(value):
+    assert unescape_label_value(escape_label_value(value)) == value
+
+
+@given(value=label_text)
+def test_escaped_label_value_is_single_line_and_quote_safe(value):
+    escaped = escape_label_value(value)
+    assert "\n" not in escaped
+    # Every remaining double quote is preceded by a backslash.
+    assert '"' not in escaped.replace('\\"', "")
+
+
+@given(text=label_text)
+def test_help_escaping_keeps_one_line(text):
+    assert "\n" not in escape_help(text)
+
+
+@settings(max_examples=50)
+@given(value=st.text(alphabet=st.characters(min_codepoint=32,
+                                            max_codepoint=126),
+                     max_size=20),
+       count=st.integers(min_value=0, max_value=5))
+def test_prometheus_text_round_trips_through_the_parser(value, count):
+    """Exposition output parses back to the exact sample values."""
+    registry = MetricsRegistry()
+    registry.counter("rmb_events_total", help="Events", kind=value).inc(count)
+    hist = registry.histogram("rmb_latency", help="Latency",
+                              buckets=(1.0, 8.0))
+    for index in range(count):
+        hist.observe(float(index))
+    parsed = parse_prometheus_text(prometheus_text(registry))
+    assert parsed[("rmb_events_total", (("kind", value),))] == float(count)
+    assert parsed[("rmb_latency_count", ())] == float(count)
+    assert parsed[("rmb_latency_bucket", (("le", "+Inf"),))] == float(count)

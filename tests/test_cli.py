@@ -128,3 +128,49 @@ class TestRunSupervision:
         summary = json.loads(target.read_text())
         assert summary["offered"] > 0
         assert "forced_teardowns" in summary
+
+
+class TestRunObservability:
+    RUN = ["run", "-n", "8", "-k", "3", "-m", "12", "--rate", "0.05",
+           "--flits", "4"]
+
+    def test_obs_level_full_prints_the_report(self, capsys):
+        code = main(self.RUN + ["--obs-level", "full"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== observability report ==" in out
+        assert "rmb_routing_completed" in out
+        assert "spans:" in out and "recorded" in out
+
+    def test_default_run_prints_no_report(self, capsys):
+        code = main(self.RUN)
+        assert code == 0
+        assert "observability report" not in capsys.readouterr().out
+
+    def test_metrics_out_is_valid_prometheus(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+        target = tmp_path / "metrics.prom"
+        code = main(self.RUN + ["--metrics-out", str(target)])
+        assert code == 0
+        parsed = parse_prometheus_text(target.read_text())
+        assert parsed[("rmb_routing_completed", ())] > 0
+        assert ("rmb_setup_latency_ticks_bucket", (("le", "+Inf"),)) in parsed
+
+    def test_spans_out_is_json_lines(self, tmp_path):
+        import json
+        target = tmp_path / "spans.jsonl"
+        code = main(self.RUN + ["--spans-out", str(target)])
+        assert code == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert rows, "span stream must not be empty"
+        assert {row["event"] for row in rows} >= {"submit", "complete"}
+
+    def test_observability_never_changes_the_stats(self, tmp_path, capsys):
+        import json
+        plain = tmp_path / "plain.json"
+        observed = tmp_path / "observed.json"
+        assert main(self.RUN + ["--stats-json", str(plain)]) == 0
+        assert main(self.RUN + ["--obs-level", "full",
+                                "--stats-json", str(observed)]) == 0
+        assert json.loads(plain.read_text()) == \
+            json.loads(observed.read_text())
