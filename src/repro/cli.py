@@ -123,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="validate the protocol implementation on this machine",
     )
+
+    explore = commands.add_parser(
+        "explore",
+        help="exhaustively model-check the protocol state machines "
+             "on small configurations",
+    )
+    explore.add_argument("--smoke", action="store_true",
+                         help="small CI sweep (N=3, k=2) instead of the "
+                              "full N<=5, k<=3 scenario set")
+    explore.add_argument("--max-states", type=int, default=100_000,
+                         metavar="N",
+                         help="abort if a single exploration exceeds N "
+                              "states (default: %(default)s)")
+    explore.add_argument("--include-wedge", action="store_true",
+                         help="also run the known-deadlock sanity scenario "
+                              "and require the detector to flag it")
     return parser
 
 
@@ -336,12 +352,49 @@ def command_selfcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_explore(args: argparse.Namespace) -> int:
+    from repro.protocol.explore import (
+        deadlock_scenario,
+        explore_all,
+        explore_lifecycle,
+        smoke_scenarios,
+    )
+
+    handshake_nodes = (2, 3) if args.smoke else (2, 3, 4, 5)
+    scenarios = smoke_scenarios() if args.smoke else None
+    sweep = explore_all(handshake_nodes=handshake_nodes,
+                        scenarios=scenarios, max_states=args.max_states)
+    for line in sweep.lines():
+        print(line)
+    print(f"total: {sweep.total_states} states explored")
+    failed = not sweep.ok
+    if args.include_wedge:
+        wedge = deadlock_scenario()
+        report = explore_lifecycle(wedge.config(), wedge.messages(),
+                                   label=wedge.label,
+                                   max_states=args.max_states)
+        if report.deadlocks and not report.violations:
+            print(f"wedge sanity: {wedge.label} correctly flagged as "
+                  f"deadlocked ({report.states} states)")
+        else:
+            print(f"wedge sanity FAILED: {wedge.label} deadlock not "
+                  f"detected ({len(report.deadlocks)} deadlocks, "
+                  f"{len(report.violations)} violations)")
+            failed = True
+    if failed:
+        print("\nmodel checking FAILED")
+        return 1
+    print("all properties hold on every reachable state")
+    return 0
+
+
 COMMANDS = {
     "run": command_run,
     "race": command_race,
     "cost": command_cost,
     "trace": command_trace,
     "selfcheck": command_selfcheck,
+    "explore": command_explore,
 }
 
 

@@ -26,7 +26,12 @@ from repro.core.flits import (
 from repro.core.invariants import InvariantMonitor
 from repro.core.network import RMBRing, TwoRingRMB
 from repro.core.ports import PE_SOURCE, PortView, all_ports, inc_ports, port_view
-from repro.core.routing import RoutingEngine, drain
+from repro.core.routing import (
+    RoutingCensus,
+    RoutingEngine,
+    drain,
+    format_census,
+)
 from repro.core.segments import SegmentGrid
 from repro.core.selfcheck import CheckResult, run_selfcheck
 from repro.core.stats import RunStats
@@ -66,6 +71,7 @@ __all__ = [
     "PortView",
     "RMBConfig",
     "RMBRing",
+    "RoutingCensus",
     "RoutingEngine",
     "RunStats",
     "CheckResult",
@@ -79,6 +85,7 @@ __all__ = [
     "code_for",
     "drain",
     "film",
+    "format_census",
     "glyph_for",
     "inc_ports",
     "is_legal",

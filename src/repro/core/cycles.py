@@ -26,26 +26,36 @@ moves as the first action of each cycle, then raises ``ID``.
 
 Lemma 1 (reproduced by experiment E7): under this protocol, the cycle
 counts of neighbouring INCs never differ by more than one.
+
+The rules themselves are declared once, as a table, in
+:mod:`repro.protocol.handshake`; this module executes that table on the
+simulator's clock domains.  :mod:`repro.protocol.explore` replays the
+same table exhaustively to machine-check Lemma 1.
 """
 
 from __future__ import annotations
 
-import enum
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.protocol.handshake import (
+    HANDSHAKE_TABLE,
+    HandshakePhase,
+    HandshakeState,
+    NeighbourBits,
+    handshake_step,
+)
 from repro.sim.clock import ClockDomain
 from repro.sim.trace import TraceRecorder
 
-
-class HandshakePhase(enum.Enum):
-    """The four switching states of Figure 9 (plus the work step)."""
-
-    WORK = "work"              # perform this cycle's datapath switches
-    ASSERT_OD = "assert_od"    # rule 2: wait LC = RC = 0, then OD := 1
-    SWITCH_CYCLE = "switch"    # rule 3: wait LD = RD = 1, then OC := 1
-    CLEAR_OD = "clear_od"      # rule 4: wait LC = RC = 1, then OD := 0
-    CLEAR_OC = "clear_oc"      # rule 5: wait LD = RD = 0, then OC := 0
+__all__ = [
+    "HANDSHAKE_TABLE",
+    "CycleController",
+    "GlobalCycleDriver",
+    "HandshakePhase",
+    "max_neighbour_skew",
+    "wire_ring",
+]
 
 
 #: Callback the compaction engine registers: ``work(inc_index, cycle)``.
@@ -91,36 +101,34 @@ class CycleController:
 
     # ------------------------------------------------------------------
     def on_edge(self, _edge_index: int) -> None:
-        """Evaluate at most one FSM transition (called on each clock edge)."""
+        """Evaluate at most one FSM transition (called on each clock edge).
+
+        The transition itself is table data
+        (:data:`repro.protocol.handshake.HANDSHAKE_TABLE`); this method
+        only supplies the neighbour wires and runs the fired rule's side
+        effects (datapath work, cycle count, trace).
+        """
         if self.left is None or self.right is None:
             raise ConfigurationError(
                 f"cycle controller {self.index} not wired to neighbours"
             )
-        before = self.phase
-        if self.phase is HandshakePhase.WORK:
+        after, rule = handshake_step(
+            HandshakeState(self.phase, self.od, self.oc),
+            NeighbourBits(self.left.od, self.left.oc),
+            NeighbourBits(self.right.od, self.right.oc),
+        )
+        if rule is None:
+            return  # guard held: wait for the neighbours
+        if rule.does_work:
             self._work(self.index, self.cycle)
-            self.phase = HandshakePhase.ASSERT_OD
-        elif self.phase is HandshakePhase.ASSERT_OD:
-            if not self.left.oc and not self.right.oc:       # rule 2
-                self.od = True
-                self.phase = HandshakePhase.SWITCH_CYCLE
-        elif self.phase is HandshakePhase.SWITCH_CYCLE:
-            if self.left.od and self.right.od:               # rule 3
-                self.oc = True
-                self.cycle += 1
-                self.transitions += 1
-                self._record("cycle_switch")
-                self.phase = HandshakePhase.CLEAR_OD
-        elif self.phase is HandshakePhase.CLEAR_OD:
-            if self.left.oc and self.right.oc:               # rule 4
-                self.od = False
-                self.phase = HandshakePhase.CLEAR_OC
-        elif self.phase is HandshakePhase.CLEAR_OC:
-            if not self.left.od and not self.right.od:       # rule 5
-                self.oc = False
-                self.phase = HandshakePhase.WORK
-        if before is not self.phase:
-            self._record("phase", phase=self.phase.value)
+        self.od = after.od
+        self.oc = after.oc
+        if rule.advances_cycle:
+            self.cycle += 1
+            self.transitions += 1
+            self._record("cycle_switch")
+        self.phase = after.phase
+        self._record("phase", phase=self.phase.value)
 
     def parity(self) -> int:
         """Current cycle parity (0 = even, 1 = odd)."""

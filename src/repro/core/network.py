@@ -20,7 +20,7 @@ from repro.core.config import RMBConfig
 from repro.core.cycles import CycleController, GlobalCycleDriver, wire_ring
 from repro.core.flits import Message, MessageRecord
 from repro.core.invariants import InvariantMonitor
-from repro.core.routing import RoutingEngine
+from repro.core.routing import RoutingCensus, RoutingEngine, format_census
 from repro.core.segments import SegmentGrid
 from repro.core.stats import RunStats
 from repro.core.virtual_bus import VirtualBus
@@ -102,6 +102,9 @@ class RMBRing:
             trace=self.trace,
             obs=obs,
         )
+        # Livelock reports from the kernel name protocol states, not just
+        # event labels, via the routing engine's lifecycle census.
+        self.sim.add_diagnostic(RoutingCensus(self.routing))
         self.compaction = CompactionEngine(
             config, self.grid, self.buses,
             trace=self.trace, now=SimClock(self.sim), obs=obs,
@@ -240,7 +243,8 @@ class RMBRing:
             if self.sim.now - start > max_ticks:
                 raise ProtocolError(
                     f"ring failed to drain within {max_ticks} ticks; "
-                    f"{self.routing.pending()} requests outstanding"
+                    f"{self.routing.pending()} requests outstanding "
+                    f"({format_census(self.routing.lifecycle_census())})"
                 )
             # Advance to the next *absolute* chunk boundary (not now +
             # chunk): a run resumed from a checkpoint then stops at the
@@ -366,8 +370,12 @@ class TwoRingRMB:
         chunk = max(self.config.cycle_period, self.config.flit_period) * 16
         while self.pending() > 0:
             if self.sim.now - start > max_ticks:
+                cw = format_census(self.clockwise.routing.lifecycle_census())
+                ccw = format_census(
+                    self.counterclockwise.routing.lifecycle_census())
                 raise ProtocolError(
-                    f"two-ring RMB failed to drain within {max_ticks} ticks"
+                    f"two-ring RMB failed to drain within {max_ticks} ticks "
+                    f"(cw {cw}; ccw {ccw})"
                 )
             # Absolute chunk boundaries, for the same checkpoint/restore
             # reason as RMBRing.drain.

@@ -21,12 +21,19 @@ Drives the full message lifecycle on one ring:
    targets for the buses above.
 
 Nacked or timed-out requests retry after a configurable, jittered backoff.
+
+The lifecycle itself is declared as a transition table in
+:mod:`repro.protocol.lifecycle`; this engine is its interpreter.  Every
+state change funnels through :meth:`RoutingEngine._fire`, which looks up
+the ``(state, event)`` arc — raising
+:class:`~repro.errors.ProtocolError` for any undeclared transition — and
+executes the arc's effects via the ``_fx_*`` handler methods below.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import RMBConfig
 from repro.core.flits import Message, MessageRecord
@@ -34,12 +41,55 @@ from repro.core.segments import SegmentGrid
 from repro.core.status import PortHealth
 from repro.core.virtual_bus import BusPhase, VirtualBus
 from repro.errors import ProtocolError, RoutingError
+from repro.protocol.lifecycle import (
+    LIFECYCLE,
+    PHASE_NAME_OF_STATE,
+    TERMINAL_STATES,
+    ArmRetryTimer,
+    ClassifyRetry,
+    CompleteMessage,
+    DisarmRetryTimer,
+    DropBus,
+    Effect,
+    Enqueue,
+    HurryRelease,
+    LifecycleEvent,
+    LifecycleState,
+    MarkAbandoned,
+    MarkDelivered,
+    MarkEstablished,
+    MarkRefused,
+    MarkShed,
+    NoteRefusal,
+    OpenBus,
+    Park,
+    RefusalKind,
+    ReleaseEndpoints,
+    ReserveLane,
+    SendSignal,
+    Signal,
+    has_arc,
+    lifecycle_name,
+    note_refusal,
+    retry_attempts,
+    retry_decision,
+)
 from repro.sim.rng import RandomStream
 from repro.sim.trace import TraceRecorder
 from repro.supervision.admission import ADMIT, SHED, AdmissionController
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.wiring import Observability
+
+#: Context dict threaded through one interpreter step (see ``_fire``).
+FireContext = Dict[str, object]
+
+#: Lifecycle state -> the :class:`BusPhase` the interpreter mirrors onto
+#: the live bus.  Resolved here (not in the table module) so the table
+#: stays importable from any layer without an import cycle.
+PHASE_OF_STATE: Dict[LifecycleState, BusPhase] = {
+    state: BusPhase(name) for state, name in PHASE_NAME_OF_STATE.items()
+}
 
 
 class _RetryRequeue:
@@ -54,10 +104,7 @@ class _RetryRequeue:
         self._message = message
 
     def __call__(self) -> None:
-        engine, message = self._engine, self._message
-        engine._awaiting_retry -= 1
-        engine._awaiting_retry_by_node[message.source] -= 1
-        engine._queues[message.source].append(message)
+        self._engine._fire(self._message, LifecycleEvent.RETRY_TIMER)
 
 
 class RoutingEngine:
@@ -123,6 +170,15 @@ class RoutingEngine:
         # final destination) whose RX port this bus currently holds.
         self._rx_holders: dict[int, set[int]] = {}
         self.records: dict[int, MessageRecord] = {}
+        #: Lifecycle FSM state per message id (the authoritative protocol
+        #: state; ``bus.phase`` is the derived per-bus view kept in
+        #: lock-step by the interpreter).
+        self._lifecycle: Dict[int, LifecycleState] = {}
+        #: When set to a list (conformance tests), every interpreter step
+        #: appends ``(message_id, state, event, target)``.
+        self.fsm_log: Optional[
+            List[Tuple[int, LifecycleState, LifecycleEvent, LifecycleState]]
+        ] = None
         self._stall_ticks: dict[int, int] = {}   # bus_id -> consecutive stalls
         # Aggregate counters
         self.injected = 0
@@ -142,6 +198,96 @@ class RoutingEngine:
         #: Fack returned and all ports were freed).  Used by the grid
         #: composition layer to chain multi-ring journeys.
         self.on_complete: Optional[Callable[[MessageRecord], None]] = None
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # Lifecycle FSM interpreter
+    # ------------------------------------------------------------------
+    def _build_dispatch(self) -> Dict[type, Callable[..., None]]:
+        """Effect type -> handler method, resolved once per engine."""
+        return {
+            Enqueue: self._fx_enqueue,
+            Park: self._fx_park,
+            MarkShed: self._fx_mark_shed,
+            OpenBus: self._fx_open_bus,
+            ReserveLane: self._fx_reserve_lane,
+            NoteRefusal: self._fx_note_refusal,
+            SendSignal: self._fx_send_signal,
+            MarkEstablished: self._fx_mark_established,
+            MarkDelivered: self._fx_mark_delivered,
+            ReleaseEndpoints: self._fx_release_endpoints,
+            MarkRefused: self._fx_mark_refused,
+            CompleteMessage: self._fx_complete_message,
+            DropBus: self._fx_drop_bus,
+            ClassifyRetry: self._fx_classify_retry,
+            ArmRetryTimer: self._fx_arm_retry_timer,
+            MarkAbandoned: self._fx_mark_abandoned,
+            DisarmRetryTimer: self._fx_disarm_retry_timer,
+            HurryRelease: self._fx_hurry_release,
+        }
+
+    def __getstate__(self) -> dict:
+        # The dispatch table holds bound methods; drop it from pickles
+        # (checkpointing) and deep copies, and rebuild on restore.
+        state = self.__dict__.copy()
+        state.pop("_dispatch", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._dispatch = self._build_dispatch()
+
+    def _fire(self, message: Message, event: LifecycleEvent,
+              bus: Optional[VirtualBus] = None,
+              ctx: Optional[FireContext] = None) -> FireContext:
+        """Take one declared lifecycle transition and run its effects.
+
+        Firing an event with no declared arc from the message's current
+        state is a protocol-conformance violation and raises
+        :class:`~repro.errors.ProtocolError` — the transition table in
+        :data:`repro.protocol.lifecycle.LIFECYCLE` is the single source
+        of truth for what may happen next.
+        """
+        state = self._lifecycle[message.message_id]
+        arc = LIFECYCLE.get((state, event))
+        if arc is None:
+            raise ProtocolError(
+                f"msg{message.message_id}: undeclared lifecycle transition "
+                f"({state.value}, {event.value})"
+            )
+        if self.fsm_log is not None:
+            self.fsm_log.append(
+                (message.message_id, state, event, arc.target))
+        self._lifecycle[message.message_id] = arc.target
+        if bus is not None:
+            phase = PHASE_OF_STATE.get(arc.target)
+            if phase is not None:
+                bus.phase = phase
+        if ctx is None:
+            ctx = {}
+        record = self.records[message.message_id]
+        dispatch = self._dispatch
+        for effect in arc.effects:
+            dispatch[type(effect)](message, record, bus, ctx, effect)
+        return ctx
+
+    def lifecycle_of(self, message_id: int) -> LifecycleState:
+        """Current lifecycle state of a submitted message."""
+        return self._lifecycle[message_id]
+
+    def lifecycle_census(self) -> Dict[str, int]:
+        """Pending messages per lifecycle state, in state-declaration order.
+
+        Terminal states (delivered / abandoned / shed) are excluded: the
+        census describes outstanding work, the vocabulary drain errors,
+        livelock diagnostics and watchdog incidents report in.
+        """
+        counts: Dict[LifecycleState, int] = {}
+        for state in self._lifecycle.values():
+            if state not in TERMINAL_STATES:
+                counts[state] = counts.get(state, 0) + 1
+        return {state.value: counts[state]
+                for state in LifecycleState if state in counts}
 
     # ------------------------------------------------------------------
     # Public interface
@@ -162,6 +308,7 @@ class RoutingEngine:
         message.validate_multicast_order(self.config.nodes)
         record = MessageRecord(message=message)
         self.records[message.message_id] = record
+        self._lifecycle[message.message_id] = LifecycleState.NEW
         if self._trace_on:
             self._record("request", message, source=message.source,
                          destination=message.destination)
@@ -169,16 +316,14 @@ class RoutingEngine:
             self._spans.begin(message, self._now())
         verdict = self.admission.decide(self.outstanding(message.source))
         if verdict == ADMIT:
-            self._queues[message.source].append(message)
+            self._fire(message, LifecycleEvent.ADMIT)
         elif verdict == SHED:
-            record.shed = True
-            self.shed += 1
+            self._fire(message, LifecycleEvent.SHED)
             self._record("shed", message, node=message.source)
             if self._obs_on:
                 self._spans.event(message.message_id, self._now(), "shed")
         else:
-            record.deferred += 1
-            self._deferred[message.source].append(message)
+            self._fire(message, LifecycleEvent.DEFER)
             self._record("defer", message, node=message.source)
             if self._obs_on:
                 self._spans.event(message.message_id, self._now(), "defer")
@@ -258,7 +403,7 @@ class RoutingEngine:
             while held and self.admission.may_release(self.outstanding(node)):
                 message = held.popleft()
                 self.admission.note_released()
-                self._queues[node].append(message)
+                self._fire(message, LifecycleEvent.ADMIT_DEFERRED)
                 self._record("admit_deferred", message, node=node)
                 if self._obs_on:
                     self._spans.event(message.message_id, self._now(),
@@ -280,43 +425,27 @@ class RoutingEngine:
 
     def _fault_nack_queued(self, message: Message) -> None:
         """Refuse a queued request whose source INC has no healthy output."""
-        record = self.records[message.message_id]
-        record.fault_nacks += 1
-        if record.first_fault_at is None:
-            record.first_fault_at = self._now()
-        self.fault_nacked += 1
         self._record("fault_nack", message, node=message.source,
                      reason="source_column_dead")
         if self._obs_on:
             self._spans.event(message.message_id, self._now(), "fault_nack",
                               reason="source_column_dead")
-        self._schedule_retry_for(record, message)
+        self._fire(message, LifecycleEvent.FAULT_NACK)
 
     def _inject(self, message: Message, top: int) -> None:
-        record = self.records[message.message_id]
-        bus = VirtualBus(
-            bus_id=self._next_bus_id,
-            message=message,
-            record=record,
-            ring_size=self.config.nodes,
-        )
-        self._next_bus_id += 1
-        self.grid.claim(message.source, top, bus.bus_id)
-        bus.hops.append(top)
-        record.lanes_visited.add(top)
-        if record.injected_at is None:
-            record.injected_at = self._now()
-        self.buses[bus.bus_id] = bus
-        self._tx_active[message.source] += 1
-        self._rx_holders[bus.bus_id] = set()
-        self._stall_ticks[bus.bus_id] = 0
-        self.injected += 1
+        ctx = self._fire(message, LifecycleEvent.INJECT, ctx={"lane": top})
+        bus = ctx["bus"]
+        assert isinstance(bus, VirtualBus)
         if self._trace_on:
             self._record("inject", message, bus=bus.bus_id, lane=top)
         if self._obs_on:
             self._spans.event(message.message_id, self._now(), "inject",
                               lane=top)
         self._on_header_advanced(bus)
+        # INJECTED is transient: if the header neither resolved at its
+        # destination nor bounced, it is now in the extension pipeline.
+        if self._lifecycle[message.message_id] is LifecycleState.INJECTED:
+            self._fire(message, LifecycleEvent.EXTEND, bus=bus)
 
     # ------------------------------------------------------------------
     # Header extension
@@ -331,26 +460,20 @@ class RoutingEngine:
                 # The whole column ahead is dead: no amount of waiting or
                 # compaction frees a path until a repair.  Nack back to
                 # the source instead of stalling into the timeout.
-                bus.record.fault_nacks += 1
-                if bus.record.first_fault_at is None:
-                    bus.record.first_fault_at = self._now()
-                self.fault_nacked += 1
                 self._record("fault_nack", bus.message, bus=bus.bus_id,
                              dead_column=next_segment)
                 if self._obs_on:
                     self._spans.event(bus.message.message_id, self._now(),
                                       "fault_nack", reason="dead_column",
                                       segment=next_segment)
-                self._begin_nack_return(bus, timed_out=False)
+                self._fire(bus.message, LifecycleEvent.FAULT_NACK, bus=bus)
                 continue
             lane = self._pick_extension_lane(next_segment, bus.head_lane())
             if lane is None:
                 self._stall(bus)
                 continue
-            self._stall_ticks[bus.bus_id] = 0
-            self.grid.claim(next_segment, lane, bus.bus_id)
-            bus.hops.append(lane)
-            bus.record.lanes_visited.add(lane)
+            self._fire(bus.message, LifecycleEvent.EXTEND, bus=bus,
+                       ctx={"segment": next_segment, "lane": lane})
             if self._trace_on:
                 self._record("extend", bus.message, bus=bus.bus_id,
                              segment=next_segment, lane=lane)
@@ -380,13 +503,12 @@ class RoutingEngine:
         timeout = self.config.header_timeout
         if timeout is not None and \
                 self._stall_ticks[bus.bus_id] * self.config.flit_period >= timeout:
-            self.timed_out += 1
             self._record("header_timeout", bus.message, bus=bus.bus_id,
                          hops=len(bus.hops))
             if self._obs_on:
                 self._spans.event(bus.message.message_id, self._now(),
                                   "header_timeout", hops=len(bus.hops))
-            self._begin_nack_return(bus, timed_out=True)
+            self._fire(bus.message, LifecycleEvent.HEADER_TIMEOUT, bus=bus)
 
     def _on_header_advanced(self, bus: VirtualBus) -> None:
         """Handle the header's arrival at its current INC.
@@ -400,37 +522,33 @@ class RoutingEngine:
         message = bus.message
         if at_node in message.extra_destinations and not bus.complete:
             if self._reserve_rx(bus, at_node):
+                self._fire(message, LifecycleEvent.TAP_JOIN, bus=bus)
                 self._record("tap_join", message, bus=bus.bus_id,
                              node=at_node)
             else:
-                bus.record.nacks += 1
-                self.nacked += 1
                 self._record("nack", message, bus=bus.bus_id,
                              busy_tap=at_node)
                 if self._obs_on:
                     self._spans.event(message.message_id, self._now(),
                                       "nack", busy=at_node)
-                self._begin_nack_return(bus, timed_out=False)
+                self._fire(message, LifecycleEvent.REFUSE, bus=bus)
                 return
         if not bus.complete:
             return
         if self._reserve_rx(bus, bus.destination):
-            bus.phase = BusPhase.ACK_RETURN
-            bus.signal_position = len(bus.hops) - 1
+            self._fire(message, LifecycleEvent.ACCEPT, bus=bus)
             if self._trace_on:
                 self._record("hack", message, bus=bus.bus_id)
             if self._obs_on:
                 self._spans.event(message.message_id, self._now(), "hack",
                                   hops=len(bus.hops))
         else:
-            bus.record.nacks += 1
-            self.nacked += 1
             self._record("nack", message, bus=bus.bus_id,
                          busy_destination=bus.destination)
             if self._obs_on:
                 self._spans.event(message.message_id, self._now(), "nack",
                                   busy=bus.destination)
-            self._begin_nack_return(bus, timed_out=False)
+            self._fire(message, LifecycleEvent.REFUSE, bus=bus)
 
     def _reserve_rx(self, bus: VirtualBus, node: int) -> bool:
         """Claim one RX port at ``node`` for ``bus`` if one is free."""
@@ -449,26 +567,13 @@ class RoutingEngine:
     # ------------------------------------------------------------------
     # Reverse signals (Hack / Nack / Fack)
     # ------------------------------------------------------------------
-    def _begin_nack_return(self, bus: VirtualBus, timed_out: bool) -> None:
-        bus.phase = BusPhase.NACK_RETURN
-        bus.signal_position = len(bus.hops) - 1
-        bus.released_from = len(bus.hops)
-        self._stall_ticks.pop(bus.bus_id, None)
-        # Leaving EXTENDING relaxes compaction's head rule (D9) at the head
-        # segment without any occupancy change; tell the grid so the
-        # incremental candidate search re-examines that neighbourhood.
-        if bus.hops:
-            self.grid.touch(bus.segment_index(len(bus.hops) - 1))
-
     def _advance_signals(self) -> None:
         for bus in list(self.buses.values()):
             if bus.phase is BusPhase.ACK_RETURN:
                 bus.signal_position -= 1
                 if bus.signal_position < 0:
-                    bus.record.established_at = self._now()
-                    self.established += 1
-                    bus.phase = BusPhase.STREAMING
-                    bus.data_sent = 0
+                    self._fire(bus.message, LifecycleEvent.HACK_AT_SOURCE,
+                               bus=bus)
                     if self._trace_on:
                         self._record("established", bus.message,
                                      bus=bus.bus_id)
@@ -492,70 +597,7 @@ class RoutingEngine:
             # tap reservation there is released as it goes by.
             self._release_rx(bus, (segment + 1) % self.config.nodes)
         if bus.signal_position < 0:
-            self._finish_release(bus)
-
-    def _finish_release(self, bus: VirtualBus) -> None:
-        source = bus.source
-        self._tx_active[source] -= 1
-        for node in list(self._rx_holders.get(bus.bus_id, ())):
-            self._release_rx(bus, node)
-        self._rx_holders.pop(bus.bus_id, None)
-        if bus.phase is BusPhase.TEARDOWN:
-            bus.phase = BusPhase.DONE
-            bus.record.completed_at = self._now()
-            self.completed += 1
-            if self._trace_on:
-                self._record("complete", bus.message, bus=bus.bus_id)
-            if self._obs_on:
-                record = bus.record
-                self._h_complete.observe(record.completed_at
-                                         - record.injected_at)
-                self._h_retries.observe(record.retries)
-                self._h_head_stalls.observe(record.head_stall_ticks)
-                self._spans.event(bus.message.message_id, self._now(),
-                                  "complete", retries=record.retries)
-            if self.on_complete is not None:
-                self.on_complete(bus.record)
-        else:
-            bus.phase = BusPhase.REFUSED
-            if self._trace_on:
-                self._record("refused", bus.message, bus=bus.bus_id)
-            self._schedule_retry(bus)
-        del self.buses[bus.bus_id]
-        self._stall_ticks.pop(bus.bus_id, None)
-
-    def _schedule_retry(self, bus: VirtualBus) -> None:
-        self._schedule_retry_for(bus.record, bus.message)
-
-    def _schedule_retry_for(self, record: MessageRecord,
-                            message: Message) -> None:
-        """Exponential-backoff retry shared by Nack, timeout and fault paths."""
-        attempts = record.nacks + record.fault_nacks + record.fault_kills \
-            + record.retries
-        if self.config.max_retries is not None and \
-                record.retries >= self.config.max_retries:
-            self.abandoned += 1
-            record.abandoned = True
-            self._record("abandon", message)
-            if self._obs_on:
-                self._spans.event(message.message_id, self._now(), "abandon",
-                                  retries=record.retries)
-            return
-        record.retries += 1
-        # backoff_floor is the number of attempts forgiven by a watchdog
-        # reset_backoff() call: the exponent restarts from there.
-        delay = self.config.retry_delay * (
-            self.config.retry_backoff
-            ** max(0, attempts - record.backoff_floor - 1)
-        )
-        if self._rng is not None and self.config.retry_jitter > 0:
-            delay += self._rng.uniform(0, self.config.retry_jitter * delay)
-        self._awaiting_retry += 1
-        self._awaiting_retry_by_node[message.source] += 1
-        if self._obs_on:
-            self._spans.event(message.message_id, self._now(), "retry",
-                              attempt=record.retries, delay=delay)
-        self._schedule(delay, _RetryRequeue(self, message))
+            self._fire(bus.message, LifecycleEvent.RELEASE_DONE, bus=bus)
 
     # ------------------------------------------------------------------
     # Supervision hooks (watchdog recovery actions)
@@ -565,23 +607,22 @@ class RoutingEngine:
 
         Counts as a refusal (the source retries with backoff) so the
         message is never lost, only delayed.  Returns ``False`` when the
-        bus is gone or already releasing — forcing it again would corrupt
-        the release walk.
+        bus is gone or its state declares no FORCE_TEARDOWN arc (it is
+        already releasing) — forcing it again would corrupt the release
+        walk.
         """
         bus = self.buses.get(bus_id)
-        if bus is None or bus.phase in (BusPhase.TEARDOWN,
-                                        BusPhase.NACK_RETURN,
-                                        BusPhase.DONE, BusPhase.REFUSED):
+        if bus is None:
             return False
-        self.forced_teardowns += 1
-        bus.record.nacks += 1
-        self.nacked += 1
+        state = self._lifecycle[bus.message.message_id]
+        if not has_arc(state, LifecycleEvent.FORCE_TEARDOWN):
+            return False
         self._record("watchdog_teardown", bus.message, bus=bus.bus_id,
-                     phase=bus.phase.value)
+                     state=state.value)
         if self._obs_on:
             self._spans.event(bus.message.message_id, self._now(),
-                              "watchdog_teardown", phase=bus.phase.value)
-        self._begin_nack_return(bus, timed_out=False)
+                              "watchdog_teardown", state=state.value)
+        self._fire(bus.message, LifecycleEvent.FORCE_TEARDOWN, bus=bus)
         return True
 
     def reset_backoff(self, message_id: int) -> None:
@@ -592,8 +633,7 @@ class RoutingEngine:
         touched (rescheduling it would break checkpoint determinism).
         """
         record = self.records[message_id]
-        record.backoff_floor = (record.nacks + record.fault_nacks
-                                + record.fault_kills + record.retries)
+        record.backoff_floor = retry_attempts(record)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -606,8 +646,8 @@ class RoutingEngine:
         (the INCs detect loss of carrier and free their ports locally).
         The outcome depends on how far the message got:
 
-        * data fully delivered (TEARDOWN, or DRAINING past the last hop) —
-          the message completes; only the teardown shortcut is observable;
+        * data fully delivered (RELEASING) — the message completes; only
+          the teardown shortcut is observable;
         * otherwise — the virtual bus is lost, the source is Nacked and
           the whole message retries with exponential backoff.  Data flits
           already streamed are re-sent on the retry, so a message is never
@@ -616,29 +656,15 @@ class RoutingEngine:
         bus = self.buses.get(bus_id)
         if bus is None:
             return
-        record = bus.record
-        delivered = record.delivered_at is not None
-        if not delivered:
-            record.fault_kills += 1
-            if record.first_fault_at is None:
-                record.first_fault_at = self._now()
-            self.fault_killed += 1
+        delivered = bus.record.delivered_at is not None
         self._record("fault_kill", bus.message, bus=bus.bus_id,
                      segment=segment, lane=lane,
-                     phase=bus.phase.value, delivered=delivered)
+                     state=lifecycle_name(bus.phase), delivered=delivered)
         if self._obs_on:
             self._spans.event(bus.message.message_id, self._now(),
                               "fault_kill", segment=segment, lane=lane,
                               delivered=delivered)
-        if bus.phase not in (BusPhase.TEARDOWN, BusPhase.NACK_RETURN):
-            bus.phase = BusPhase.TEARDOWN if delivered else BusPhase.NACK_RETURN
-            bus.signal_position = len(bus.hops) - 1
-            bus.released_from = len(bus.hops)
-            self._stall_ticks.pop(bus.bus_id, None)
-        while bus.bus_id in self.buses and bus.signal_position >= 0:
-            self._release_step(bus)
-        if bus.bus_id in self.buses:  # pragma: no cover - defensive
-            self._finish_release(bus)
+        self._fire(bus.message, LifecycleEvent.FAULT_KILL, bus=bus)
 
     # ------------------------------------------------------------------
     # Data streaming
@@ -652,8 +678,8 @@ class RoutingEngine:
                                           self._now(), "first_data")
                     bus.data_sent += 1
                 else:
-                    bus.phase = BusPhase.DRAINING
-                    bus.signal_position = 0
+                    self._fire(bus.message, LifecycleEvent.FINAL_FLIT,
+                               bus=bus)
                     if self._trace_on:
                         self._record("final_flit", bus.message,
                                      bus=bus.bus_id)
@@ -676,19 +702,220 @@ class RoutingEngine:
                                           self._now(), "tap_delivered",
                                           node=tap_node)
                 if bus.signal_position >= bus.span:
-                    bus.record.delivered_at = self._now()
-                    self.delivered += 1
-                    self.flits_delivered += bus.message.total_flits
-                    self._release_rx(bus, bus.destination)
-                    bus.phase = BusPhase.TEARDOWN
-                    bus.signal_position = len(bus.hops) - 1
-                    bus.released_from = len(bus.hops)
+                    self._fire(bus.message, LifecycleEvent.DELIVER, bus=bus)
                     if self._trace_on:
                         self._record("delivered", bus.message,
                                      bus=bus.bus_id)
                     if self._obs_on:
                         self._spans.event(bus.message.message_id,
                                           self._now(), "delivered")
+
+    # ------------------------------------------------------------------
+    # Effect handlers (the interpreter's vocabulary)
+    # ------------------------------------------------------------------
+    def _fx_enqueue(self, message: Message, record: MessageRecord,
+                    bus: Optional[VirtualBus], ctx: FireContext,
+                    effect: Effect) -> None:
+        self._queues[message.source].append(message)
+
+    def _fx_park(self, message: Message, record: MessageRecord,
+                 bus: Optional[VirtualBus], ctx: FireContext,
+                 effect: Effect) -> None:
+        record.deferred += 1
+        self._deferred[message.source].append(message)
+
+    def _fx_mark_shed(self, message: Message, record: MessageRecord,
+                      bus: Optional[VirtualBus], ctx: FireContext,
+                      effect: Effect) -> None:
+        record.shed = True
+        self.shed += 1
+
+    def _fx_open_bus(self, message: Message, record: MessageRecord,
+                     bus: Optional[VirtualBus], ctx: FireContext,
+                     effect: Effect) -> None:
+        top = ctx["lane"]
+        assert isinstance(top, int)
+        opened = VirtualBus(
+            bus_id=self._next_bus_id,
+            message=message,
+            record=record,
+            ring_size=self.config.nodes,
+        )
+        self._next_bus_id += 1
+        self.grid.claim(message.source, top, opened.bus_id)
+        opened.hops.append(top)
+        record.lanes_visited.add(top)
+        if record.injected_at is None:
+            record.injected_at = self._now()
+        self.buses[opened.bus_id] = opened
+        self._tx_active[message.source] += 1
+        self._rx_holders[opened.bus_id] = set()
+        self._stall_ticks[opened.bus_id] = 0
+        self.injected += 1
+        ctx["bus"] = opened
+
+    def _fx_reserve_lane(self, message: Message, record: MessageRecord,
+                         bus: Optional[VirtualBus], ctx: FireContext,
+                         effect: Effect) -> None:
+        assert bus is not None
+        segment = ctx["segment"]
+        lane = ctx["lane"]
+        assert isinstance(segment, int) and isinstance(lane, int)
+        self._stall_ticks[bus.bus_id] = 0
+        self.grid.claim(segment, lane, bus.bus_id)
+        bus.hops.append(lane)
+        record.lanes_visited.add(lane)
+
+    def _fx_note_refusal(self, message: Message, record: MessageRecord,
+                         bus: Optional[VirtualBus], ctx: FireContext,
+                         effect: Effect) -> None:
+        assert isinstance(effect, NoteRefusal)
+        kind = effect.kind
+        if kind is RefusalKind.WATCHDOG:
+            self.forced_teardowns += 1
+        note_refusal(record, kind, self._now())
+        if kind is RefusalKind.NACK or kind is RefusalKind.WATCHDOG:
+            self.nacked += 1
+        elif kind is RefusalKind.TIMEOUT:
+            self.timed_out += 1
+        elif kind is RefusalKind.FAULT_NACK:
+            self.fault_nacked += 1
+        elif kind is RefusalKind.FAULT_KILL:
+            self.fault_killed += 1
+
+    def _fx_send_signal(self, message: Message, record: MessageRecord,
+                        bus: Optional[VirtualBus], ctx: FireContext,
+                        effect: Effect) -> None:
+        assert isinstance(effect, SendSignal) and bus is not None
+        signal = effect.signal
+        if signal is Signal.HACK:
+            # Acceptance: the Hack walks back from the last hop.
+            bus.signal_position = len(bus.hops) - 1
+        elif signal is Signal.NACK:
+            # Refusal: the Nack's walk releases segments as it goes.
+            bus.signal_position = len(bus.hops) - 1
+            bus.released_from = len(bus.hops)
+            self._stall_ticks.pop(bus.bus_id, None)
+            # Leaving EXTENDING relaxes compaction's head rule (D9) at the
+            # head segment without any occupancy change; tell the grid so
+            # the incremental candidate search re-examines that
+            # neighbourhood.
+            if bus.hops:
+                self.grid.touch(bus.segment_index(len(bus.hops) - 1))
+        elif signal is Signal.FACK:
+            # Delivery: the Fack's walk releases segments as it goes.
+            bus.signal_position = len(bus.hops) - 1
+            bus.released_from = len(bus.hops)
+        else:  # Signal.FINAL — the FF chases the last data flit forward.
+            bus.signal_position = 0
+
+    def _fx_mark_established(self, message: Message, record: MessageRecord,
+                             bus: Optional[VirtualBus], ctx: FireContext,
+                             effect: Effect) -> None:
+        assert bus is not None
+        record.established_at = self._now()
+        self.established += 1
+        bus.data_sent = 0
+
+    def _fx_mark_delivered(self, message: Message, record: MessageRecord,
+                           bus: Optional[VirtualBus], ctx: FireContext,
+                           effect: Effect) -> None:
+        assert bus is not None
+        record.delivered_at = self._now()
+        self.delivered += 1
+        self.flits_delivered += message.total_flits
+        self._release_rx(bus, bus.destination)
+
+    def _fx_release_endpoints(self, message: Message, record: MessageRecord,
+                              bus: Optional[VirtualBus], ctx: FireContext,
+                              effect: Effect) -> None:
+        assert bus is not None
+        self._tx_active[bus.source] -= 1
+        for node in list(self._rx_holders.get(bus.bus_id, ())):
+            self._release_rx(bus, node)
+        self._rx_holders.pop(bus.bus_id, None)
+
+    def _fx_mark_refused(self, message: Message, record: MessageRecord,
+                         bus: Optional[VirtualBus], ctx: FireContext,
+                         effect: Effect) -> None:
+        assert bus is not None
+        if self._trace_on:
+            self._record("refused", message, bus=bus.bus_id)
+
+    def _fx_complete_message(self, message: Message, record: MessageRecord,
+                             bus: Optional[VirtualBus], ctx: FireContext,
+                             effect: Effect) -> None:
+        assert bus is not None
+        record.completed_at = self._now()
+        self.completed += 1
+        if self._trace_on:
+            self._record("complete", message, bus=bus.bus_id)
+        if self._obs_on:
+            self._h_complete.observe(record.completed_at
+                                     - record.injected_at)
+            self._h_retries.observe(record.retries)
+            self._h_head_stalls.observe(record.head_stall_ticks)
+            self._spans.event(message.message_id, self._now(),
+                              "complete", retries=record.retries)
+        if self.on_complete is not None:
+            self.on_complete(record)
+
+    def _fx_drop_bus(self, message: Message, record: MessageRecord,
+                     bus: Optional[VirtualBus], ctx: FireContext,
+                     effect: Effect) -> None:
+        assert bus is not None
+        del self.buses[bus.bus_id]
+        self._stall_ticks.pop(bus.bus_id, None)
+
+    def _fx_classify_retry(self, message: Message, record: MessageRecord,
+                           bus: Optional[VirtualBus], ctx: FireContext,
+                           effect: Effect) -> None:
+        self._fire(message, retry_decision(record, self.config.max_retries))
+
+    def _fx_arm_retry_timer(self, message: Message, record: MessageRecord,
+                            bus: Optional[VirtualBus], ctx: FireContext,
+                            effect: Effect) -> None:
+        attempts = retry_attempts(record)
+        record.retries += 1
+        # backoff_floor is the number of attempts forgiven by a watchdog
+        # reset_backoff() call: the exponent restarts from there.
+        delay = self.config.retry_delay * (
+            self.config.retry_backoff
+            ** max(0, attempts - record.backoff_floor - 1)
+        )
+        if self._rng is not None and self.config.retry_jitter > 0:
+            delay += self._rng.uniform(0, self.config.retry_jitter * delay)
+        self._awaiting_retry += 1
+        self._awaiting_retry_by_node[message.source] += 1
+        if self._obs_on:
+            self._spans.event(message.message_id, self._now(), "retry",
+                              attempt=record.retries, delay=delay)
+        self._schedule(delay, _RetryRequeue(self, message))
+
+    def _fx_mark_abandoned(self, message: Message, record: MessageRecord,
+                           bus: Optional[VirtualBus], ctx: FireContext,
+                           effect: Effect) -> None:
+        self.abandoned += 1
+        record.abandoned = True
+        self._record("abandon", message)
+        if self._obs_on:
+            self._spans.event(message.message_id, self._now(), "abandon",
+                              retries=record.retries)
+
+    def _fx_disarm_retry_timer(self, message: Message, record: MessageRecord,
+                               bus: Optional[VirtualBus], ctx: FireContext,
+                               effect: Effect) -> None:
+        self._awaiting_retry -= 1
+        self._awaiting_retry_by_node[message.source] -= 1
+
+    def _fx_hurry_release(self, message: Message, record: MessageRecord,
+                          bus: Optional[VirtualBus], ctx: FireContext,
+                          effect: Effect) -> None:
+        assert bus is not None
+        while bus.bus_id in self.buses and bus.signal_position >= 0:
+            self._release_step(bus)
+        if bus.bus_id in self.buses:  # pragma: no cover - defensive
+            self._fire(message, LifecycleEvent.RELEASE_DONE, bus=bus)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -715,6 +942,30 @@ class RoutingEngine:
         return self._rx_active[node] >= self.config.rx_ports
 
 
+def format_census(census: Dict[str, int]) -> str:
+    """Render a lifecycle census as ``state=count`` pairs for reports."""
+    if not census:
+        return "lifecycle: idle"
+    return "lifecycle: " + " ".join(
+        f"{name}={count}" for name, count in census.items())
+
+
+class RoutingCensus:
+    """Picklable livelock-diagnostics provider: the lifecycle census.
+
+    Registered with :meth:`repro.sim.kernel.Simulator.add_diagnostic` so
+    a kernel livelock report describes outstanding messages in the
+    lifecycle-FSM vocabulary (a class, not a closure, so checkpointed
+    simulators keep their diagnostics).
+    """
+
+    def __init__(self, engine: RoutingEngine) -> None:
+        self._engine = engine
+
+    def __call__(self) -> str:
+        return format_census(self._engine.lifecycle_census())
+
+
 def drain(engine: RoutingEngine, tick: Callable[[], None],
           max_ticks: int = 1_000_000) -> int:
     """Run ``tick`` until the engine has no pending work; return tick count.
@@ -729,6 +980,7 @@ def drain(engine: RoutingEngine, tick: Callable[[], None],
         if ticks > max_ticks:
             raise ProtocolError(
                 f"network failed to drain within {max_ticks} ticks; "
-                f"{engine.pending()} requests outstanding"
+                f"{engine.pending()} requests outstanding "
+                f"({format_census(engine.lifecycle_census())})"
             )
     return ticks

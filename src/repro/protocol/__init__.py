@@ -1,0 +1,71 @@
+"""Explicit protocol state machines for the RMB network.
+
+The paper's correctness story rests on two interlocking protocols:
+
+* the per-message **lifecycle** — HF/Hack/Dack/Fack/Nack, paper
+  Section 2.2 — declared as a transition table in
+  :mod:`repro.protocol.lifecycle` and executed by a thin interpreter
+  inside :class:`repro.core.routing.RoutingEngine`;
+* the odd/even **compaction handshake** — rules 1-5 of Section 2.5,
+  Figures 9/10 — declared in :mod:`repro.protocol.handshake` and
+  executed by :class:`repro.core.cycles.CycleController`.
+
+Both machines are *data*: every legal ``(state, event) -> (state,
+effects)`` arc is enumerable, which is what lets
+:mod:`repro.protocol.explore` exhaustively enumerate reachable joint
+states on small configurations and machine-check the paper's properties
+(Table 1 legality, Lemma 1 skew, Theorem 1 make-before-break, deadlock
+freedom) instead of only sampling them by simulation.
+"""
+
+from repro.protocol.handshake import (
+    HANDSHAKE_TABLE,
+    HandshakePhase,
+    HandshakeRule,
+    HandshakeState,
+    guard_satisfied,
+    handshake_step,
+)
+from repro.protocol.lifecycle import (
+    LIFECYCLE,
+    PHASE_NAME_OF_STATE,
+    STATE_OF_PHASE_NAME,
+    TERMINAL_STATES,
+    Arc,
+    Effect,
+    LifecycleEvent,
+    LifecycleState,
+    LifecycleTable,
+    RefusalKind,
+    Signal,
+    has_arc,
+    lifecycle_name,
+    note_refusal,
+    retry_attempts,
+    retry_decision,
+)
+
+__all__ = [
+    "Arc",
+    "Effect",
+    "HANDSHAKE_TABLE",
+    "HandshakePhase",
+    "HandshakeRule",
+    "HandshakeState",
+    "LIFECYCLE",
+    "LifecycleEvent",
+    "LifecycleState",
+    "LifecycleTable",
+    "PHASE_NAME_OF_STATE",
+    "STATE_OF_PHASE_NAME",
+    "TERMINAL_STATES",
+    "RefusalKind",
+    "Signal",
+    "guard_satisfied",
+    "handshake_step",
+    "has_arc",
+    "lifecycle_name",
+    "note_refusal",
+    "retry_attempts",
+    "retry_decision",
+]

@@ -1,0 +1,658 @@
+"""Bounded model checking of the RMB protocol state machines.
+
+The transition tables in :mod:`repro.protocol.lifecycle` and
+:mod:`repro.protocol.handshake` make the protocol's legal moves
+*enumerable*, so on small configurations we can do better than sampling
+behaviour by simulation: exhaustively enumerate every reachable joint
+state and machine-check the paper's correctness claims on each one.
+
+Two explorers live here:
+
+:func:`explore_handshake`
+    Pure breadth-first search over the odd/even compaction handshake
+    (paper Section 2.5, rules 1-5).  Joint state = one
+    ``(phase, cycle)`` pair per INC; each step lets one INC observe its
+    neighbours and apply :func:`repro.protocol.handshake.handshake_step`.
+    Checked on every reachable state:
+
+    * the Gray-code invariant — the ``(OD, OC)`` bits always equal
+      ``BITS_OF_PHASE[phase]`` (Figure 10's encoding);
+    * **Lemma 1** — neighbouring INCs' cycle counts differ by at most 1;
+    * progress — some INC always has an enabled rule (the handshake
+      itself can never wedge the ring).
+
+:func:`explore_lifecycle`
+    Breadth-first search over the *real* routing and compaction engines
+    driven in a sealed mini-harness: time pinned to zero, retry timers
+    captured in a bag instead of a simulator queue, no RNG, no tracing.
+    The nondeterminism explored is scheduling — from each state we fork
+    the world (``deepcopy``) and try every enabled action: one flit
+    tick, one synchronous compaction pass, or firing any pending retry
+    timer.  Checked on every reachable state:
+
+    * **Table 1 legality** — every occupied status register holds a
+      legal code and no input port drives two outputs
+      (:func:`repro.core.ports.validate_ports`);
+    * structural soundness — grid/bus agreement, connected ±1 bus
+      shapes (:mod:`repro.core.invariants`);
+    * **Theorem 1, make-before-break** — across every compaction pass,
+      established buses stay complete and their per-hop lanes never
+      rise (compaction moves are only downward);
+    * **deadlock freedom** — on the full reachability graph, every
+      state with pending work can reach either quiescence
+      (``pending() == 0``) or a state holding a retry timer.  A state
+      that can do neither is a genuine wedge, reported as a deadlock.
+
+Exploration is bounded by construction — small ``N``, ``k``, message
+count, ``data_flits``, ``max_retries`` and ``header_timeout`` keep the
+signature space finite — and additionally by ``max_states`` as a
+safety net.  :func:`explore_all` runs the default sweep used by
+experiment E30 and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.compaction import CompactionEngine
+from repro.core.config import RMBConfig
+from repro.core.flits import Message
+from repro.core.invariants import check_bus_shapes, check_grid_bus_agreement
+from repro.core.ports import validate_ports
+from repro.core.routing import RoutingEngine
+from repro.core.segments import SegmentGrid
+from repro.core.virtual_bus import BusPhase, VirtualBus
+from repro.errors import InvariantViolation, ProtocolError
+from repro.protocol.handshake import (
+    BITS_OF_PHASE,
+    HandshakePhase,
+    HandshakeState,
+    NeighbourBits,
+    handshake_step,
+)
+
+__all__ = [
+    "ExplorationError",
+    "HandshakeReport",
+    "LifecycleReport",
+    "Scenario",
+    "SweepReport",
+    "default_scenarios",
+    "deadlock_scenario",
+    "explore_all",
+    "explore_handshake",
+    "explore_lifecycle",
+    "exploration_config",
+]
+
+#: Phases during which a virtual bus is *established* in the sense of
+#: Theorem 1: the circuit has been acknowledged and data may flow, so
+#: compaction must move it without ever breaking it.
+_ESTABLISHED_PHASES = frozenset(
+    {BusPhase.ACK_RETURN, BusPhase.STREAMING, BusPhase.DRAINING}
+)
+
+
+class ExplorationError(RuntimeError):
+    """The state space exceeded the configured ``max_states`` bound."""
+
+
+# ---------------------------------------------------------------------------
+# Handshake explorer
+# ---------------------------------------------------------------------------
+
+#: Joint handshake state: per-INC ``(phase, cycle - min(cycles))``.
+_HandshakeJoint = Tuple[Tuple[HandshakePhase, int], ...]
+
+
+@dataclass
+class HandshakeReport:
+    """Result of one exhaustive handshake exploration."""
+
+    nodes: int
+    states: int = 0
+    edges: int = 0
+    max_skew: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _canonical_handshake(
+    cells: Sequence[Tuple[HandshakePhase, int]]
+) -> _HandshakeJoint:
+    floor = min(cycle for _, cycle in cells)
+    return tuple((phase, cycle - floor) for phase, cycle in cells)
+
+
+def explore_handshake(nodes: int, max_states: int = 100_000) -> HandshakeReport:
+    """Enumerate every reachable joint state of ``nodes`` handshaking INCs.
+
+    Each INC runs rules 1-5 off its own clock; a step is one INC taking
+    one clock edge.  Cycle counters are canonicalised relative to the
+    ring minimum, so the reachable set is finite exactly when Lemma 1
+    holds (skew stays bounded); a Lemma 1 violation is reported and the
+    offending branch is not expanded further.
+    """
+    if nodes < 2:
+        raise ProtocolError(f"handshake exploration needs >= 2 INCs, got {nodes}")
+    report = HandshakeReport(nodes=nodes)
+    initial = _canonical_handshake([(HandshakePhase.WORK, 0)] * nodes)
+    seen = {initial}
+    frontier: deque[_HandshakeJoint] = deque([initial])
+    while frontier:
+        joint = frontier.popleft()
+        report.states += 1
+        stepped = 0
+        for index in range(nodes):
+            phase, cycle = joint[index]
+            od, oc = BITS_OF_PHASE[phase]
+            left_phase = joint[(index - 1) % nodes][0]
+            right_phase = joint[(index + 1) % nodes][0]
+            after, rule = handshake_step(
+                HandshakeState(phase, od, oc),
+                NeighbourBits(*BITS_OF_PHASE[left_phase]),
+                NeighbourBits(*BITS_OF_PHASE[right_phase]),
+            )
+            if rule is None:
+                continue  # guard not satisfied: this INC waits
+            stepped += 1
+            if (after.od, after.oc) != BITS_OF_PHASE[after.phase]:
+                report.violations.append(
+                    f"N={nodes} inc{index}: bits {(after.od, after.oc)} "
+                    f"disagree with Gray code for phase {after.phase.value}"
+                )
+                continue
+            cells = list(joint)
+            cells[index] = (after.phase, cycle + (1 if rule.advances_cycle else 0))
+            skew = _max_neighbour_skew(cells)
+            report.max_skew = max(report.max_skew, skew)
+            if skew > 1:
+                report.violations.append(
+                    f"N={nodes} inc{index} rule {rule.rule}: neighbour "
+                    f"cycle skew {skew} > 1 (Lemma 1)"
+                )
+                continue  # do not expand past a violation
+            child = _canonical_handshake(cells)
+            report.edges += 1
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+                if len(seen) > max_states:
+                    raise ExplorationError(
+                        f"handshake N={nodes}: > {max_states} states"
+                    )
+        if stepped == 0:
+            report.violations.append(
+                f"N={nodes}: no INC has an enabled rule in {joint!r} "
+                "(handshake wedge)"
+            )
+    return report
+
+
+def _max_neighbour_skew(cells: Sequence[Tuple[HandshakePhase, int]]) -> int:
+    count = len(cells)
+    return max(
+        abs(cells[i][1] - cells[(i + 1) % count][1]) for i in range(count)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle explorer
+# ---------------------------------------------------------------------------
+
+def _zero_time() -> float:
+    """Pinned clock: exploration is untimed, timers fire nondeterministically."""
+    return 0.0
+
+
+def exploration_config(nodes: int, lanes: int, **overrides: object) -> RMBConfig:
+    """An :class:`RMBConfig` for exploration, allowing small/odd ``nodes``.
+
+    :class:`RMBConfig` validation requires even ``N >= 4`` because the
+    odd/even *handshake* needs consistent parity around the ring.  The
+    lifecycle explorer runs synchronous compaction (no handshake), where
+    any ``N >= 2`` is meaningful — so we validate against a legal node
+    count and then patch the real one in.
+    """
+    legal_nodes = nodes if nodes >= 4 and nodes % 2 == 0 else 4
+    defaults: Dict[str, object] = {
+        "synchronous": True,
+        "retry_jitter": 0.0,
+        "check_level": "off",
+    }
+    defaults.update(overrides)
+    config = RMBConfig(nodes=legal_nodes, lanes=lanes, **defaults)  # type: ignore[arg-type]
+    if legal_nodes != nodes:
+        if nodes < 2:
+            raise ProtocolError(f"exploration needs >= 2 nodes, got {nodes}")
+        config = copy.copy(config)
+        object.__setattr__(config, "nodes", nodes)
+    return config
+
+
+class _TimerBag:
+    """Captures retry-timer callbacks instead of scheduling them.
+
+    The explorer fires captured callbacks nondeterministically, which
+    over-approximates every possible timer/tick interleaving — delays
+    and jitter become irrelevant, which is exactly right for a model
+    checker (the properties must hold for *any* timing).
+    """
+
+    def __init__(self) -> None:
+        self.callbacks: List[object] = []
+
+    def schedule(self, delay: float, callback: object) -> None:
+        self.callbacks.append(callback)
+
+    def message_ids(self) -> List[int]:
+        return sorted(
+            callback._message.message_id  # type: ignore[attr-defined]
+            for callback in self.callbacks
+        )
+
+    def fire(self, message_id: int) -> None:
+        for index, callback in enumerate(self.callbacks):
+            if callback._message.message_id == message_id:  # type: ignore[attr-defined]
+                self.callbacks.pop(index)
+                callback()  # type: ignore[operator]
+                return
+        raise ProtocolError(f"no pending timer for msg{message_id}")
+
+
+class _World:
+    """One sealed protocol universe: grid + engines + captured timers."""
+
+    def __init__(self, config: RMBConfig, messages: Sequence[Message]) -> None:
+        self.config = config
+        self.grid = SegmentGrid(config.nodes, config.lanes)
+        self.buses: Dict[int, VirtualBus] = {}
+        self.timers = _TimerBag()
+        self.engine = RoutingEngine(
+            config, self.grid, self.buses,
+            now=_zero_time, schedule=self.timers.schedule, rng=None,
+        )
+        self.compaction = CompactionEngine(config, self.grid, self.buses)
+        # Reference scan: exploration states must not depend on the
+        # incremental dirty-set (which the signature ignores).
+        self.compaction.incremental = False
+        self.cycle = 0
+        for message in messages:
+            self.engine.submit(message)
+
+    # -- actions ---------------------------------------------------------
+    def actions(self) -> List[Tuple[str, int]]:
+        if self.engine.pending() == 0 and not self.timers.callbacks:
+            return []  # quiescent: absorbing state
+        enabled: List[Tuple[str, int]] = [("tick", 0), ("compact", 0)]
+        enabled.extend(("timer", mid) for mid in self.timers.message_ids())
+        return enabled
+
+    def apply(self, action: Tuple[str, int]) -> Optional[str]:
+        """Execute one action; returns a violation description or ``None``."""
+        kind, arg = action
+        if kind == "tick":
+            self.engine.flit_tick()
+            return None
+        if kind == "timer":
+            self.timers.fire(arg)
+            return None
+        # Compaction pass: snapshot established buses for Theorem 1.
+        before = {
+            bus.bus_id: list(bus.hops)
+            for bus in self.buses.values()
+            if bus.phase in _ESTABLISHED_PHASES
+        }
+        self.compaction.global_pass(self.cycle)
+        self.cycle += 1
+        for bus_id, hops in before.items():
+            bus = self.buses.get(bus_id)
+            if bus is None or not bus.complete or len(bus.hops) != len(hops):
+                return (
+                    f"theorem1: established bus {bus_id} broken by "
+                    f"compaction ({'gone' if bus is None else bus.describe()})"
+                )
+            for hop, old_lane in enumerate(hops):
+                if bus.hops[hop] > old_lane:
+                    return (
+                        f"theorem1: {bus.describe()} hop {hop} rose "
+                        f"{old_lane} -> {bus.hops[hop]} during compaction"
+                    )
+        return None
+
+    # -- properties ------------------------------------------------------
+    def check(self) -> List[str]:
+        violations: List[str] = []
+        try:
+            validate_ports(self.grid, self.buses)
+        except ProtocolError as exc:
+            violations.append(f"table1: {exc}")
+        try:
+            check_grid_bus_agreement(self.grid, self.buses)
+            check_bus_shapes(self.buses, self.config.lanes)
+        except InvariantViolation as exc:
+            violations.append(f"structure: {exc}")
+        for bus in self.buses.values():
+            if bus.phase in _ESTABLISHED_PHASES and (
+                not bus.complete or bus.released_from is not None
+            ):
+                violations.append(
+                    f"theorem1: established {bus.describe()} is not intact"
+                )
+        return violations
+
+    # -- canonical signature ---------------------------------------------
+    def signature(self) -> Tuple[object, ...]:
+        engine = self.engine
+        by_message = {
+            bus.bus_id: bus.message.message_id for bus in self.buses.values()
+        }
+        queues = tuple(
+            tuple(m.message_id for m in q) for q in engine._queues
+        )
+        deferred = tuple(
+            tuple(m.message_id for m in q) for q in engine._deferred
+        )
+        # Bus creation order matters (tick processing iterates the dict),
+        # so record it alongside the per-bus observable state.
+        bus_order = tuple(by_message[bus_id] for bus_id in self.buses)
+        bus_states = tuple(
+            (
+                by_message[bus.bus_id],
+                bus.phase.value,
+                tuple(bus.hops),
+                bus.signal_position,
+                bus.data_sent,
+                -1 if bus.released_from is None else bus.released_from,
+                tuple(sorted(engine._rx_holders.get(bus.bus_id, ()))),
+            )
+            for bus in self.buses.values()
+        )
+        # Stall counters only influence behaviour through the header
+        # timeout (which bounds them); without one they count forever
+        # with no effect, so they must not distinguish states.
+        if engine.config.header_timeout is None:
+            stalls: Tuple[Tuple[int, int], ...] = ()
+        else:
+            stalls = tuple(
+                sorted(
+                    (by_message[bus_id], ticks)
+                    for bus_id, ticks in engine._stall_ticks.items()
+                    if bus_id in self.buses
+                )
+            )
+        records = tuple(
+            (
+                message_id,
+                engine._lifecycle[message_id].value,
+                record.retries,
+                record.nacks,
+                record.fault_nacks,
+                record.deferred,
+                record.backoff_floor,
+                record.abandoned,
+                record.shed,
+                record.finished,
+            )
+            for message_id, record in sorted(engine.records.items())
+        )
+        return (
+            queues,
+            deferred,
+            bus_order,
+            bus_states,
+            stalls,
+            records,
+            tuple(self.timers.message_ids()),
+            tuple(engine._tx_active),
+            tuple(engine._rx_active),
+            tuple(engine._awaiting_retry_by_node),
+            self.cycle & 1,
+        )
+
+
+@dataclass
+class LifecycleReport:
+    """Result of one exhaustive lifecycle exploration."""
+
+    label: str
+    states: int = 0
+    edges: int = 0
+    completed_runs: int = 0          # reachable quiescent states
+    violations: List[str] = field(default_factory=list)
+    deadlocks: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.deadlocks
+
+
+_MAX_REPORTED = 20
+
+
+def explore_lifecycle(
+    config: RMBConfig,
+    messages: Sequence[Message],
+    label: str = "",
+    max_states: int = 100_000,
+) -> LifecycleReport:
+    """Enumerate every reachable joint protocol state of ``messages``.
+
+    From each state the explorer forks the world and tries every
+    enabled action (tick / compaction pass / fire one retry timer),
+    checking the per-state properties on each successor and finally the
+    graph-level deadlock-freedom property over the whole reachable set.
+    """
+    report = LifecycleReport(label=label or f"{config.nodes}x{config.lanes}")
+    root = _World(config, messages)
+    for violation in root.check():
+        report.violations.append(f"initial: {violation}")
+    root_sig = root.signature()
+    index: Dict[Tuple[object, ...], int] = {root_sig: 0}
+    successors: List[List[int]] = [[]]
+    is_goal: List[bool] = [_is_goal(root)]
+    frontier: deque[_World] = deque([root])
+    while frontier:
+        world = frontier.popleft()
+        report.states += 1
+        parent = index[world.signature()]
+        for action in world.actions():
+            child = copy.deepcopy(world)
+            step_violation = child.apply(action)
+            if step_violation and len(report.violations) < _MAX_REPORTED:
+                report.violations.append(
+                    f"{_describe(action)}: {step_violation}"
+                )
+            for violation in child.check():
+                if len(report.violations) < _MAX_REPORTED:
+                    report.violations.append(
+                        f"after {_describe(action)}: {violation}"
+                    )
+            sig = child.signature()
+            child_index = index.get(sig)
+            if child_index is None:
+                child_index = len(index)
+                index[sig] = child_index
+                successors.append([])
+                is_goal.append(_is_goal(child))
+                frontier.append(child)
+                if len(index) > max_states:
+                    raise ExplorationError(
+                        f"{report.label}: > {max_states} reachable states"
+                    )
+            successors[parent].append(child_index)
+            report.edges += 1
+    report.completed_runs = sum(is_goal)
+    report.deadlocks = _find_deadlocks(successors, is_goal)
+    return report
+
+
+def _is_goal(world: _World) -> bool:
+    """Goal for deadlock freedom: quiescent, or a retry timer is armed."""
+    return world.engine.pending() == 0 or bool(world.timers.callbacks)
+
+
+def _describe(action: Tuple[str, int]) -> str:
+    kind, arg = action
+    return f"timer(msg{arg})" if kind == "timer" else kind
+
+
+def _find_deadlocks(
+    successors: Sequence[Sequence[int]], is_goal: Sequence[bool]
+) -> List[str]:
+    """States that cannot reach any goal state (backward closure)."""
+    count = len(successors)
+    predecessors: List[List[int]] = [[] for _ in range(count)]
+    for state, children in enumerate(successors):
+        for child in children:
+            predecessors[child].append(state)
+    can_reach = [bool(is_goal[state]) for state in range(count)]
+    work = deque(state for state in range(count) if can_reach[state])
+    while work:
+        state = work.popleft()
+        for previous in predecessors[state]:
+            if not can_reach[previous]:
+                can_reach[previous] = True
+                work.append(previous)
+    stuck = [state for state in range(count) if not can_reach[state]]
+    return [
+        f"state #{state} cannot reach quiescence or a retry timer"
+        for state in stuck[:_MAX_REPORTED]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Scenario sweep
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One lifecycle-exploration configuration."""
+
+    label: str
+    nodes: int
+    lanes: int
+    routes: Tuple[Tuple[int, int], ...]
+    data_flits: int = 1
+    header_timeout: Optional[float] = 3.0
+    max_retries: Optional[int] = 1
+    extend_up: bool = True
+
+    def config(self) -> RMBConfig:
+        return exploration_config(
+            self.nodes,
+            self.lanes,
+            header_timeout=self.header_timeout,
+            max_retries=self.max_retries,
+            extend_up=self.extend_up,
+        )
+
+    def messages(self) -> List[Message]:
+        return [
+            Message(message_id=i, source=src, destination=dst,
+                    data_flits=self.data_flits)
+            for i, (src, dst) in enumerate(self.routes)
+        ]
+
+
+def default_scenarios() -> List[Scenario]:
+    """The E30 sweep: N <= 5, k <= 3, <= 3 in-flight messages."""
+    return [
+        Scenario("2x1-pair", 2, 1, ((0, 1), (1, 0))),
+        Scenario("3x2-ring", 3, 2, ((0, 1), (1, 2), (2, 0))),
+        Scenario("4x1-cross", 4, 1, ((0, 2), (1, 3))),
+        Scenario("4x2-overlap", 4, 2, ((0, 2), (1, 3), (2, 0))),
+        Scenario("4x3-overlap", 4, 3, ((0, 2), (1, 3), (3, 1))),
+        Scenario("5x2-odd", 5, 2, ((0, 2), (2, 4), (4, 1))),
+        Scenario("5x3-odd", 5, 3, ((0, 3), (2, 0), (3, 1))),
+    ]
+
+
+def smoke_scenarios() -> List[Scenario]:
+    """Small configurations for the CI smoke job (N=3, k=2)."""
+    return [
+        Scenario("3x2-pair", 3, 2, ((0, 1), (1, 0))),
+        Scenario("3x2-ring", 3, 2, ((0, 1), (1, 2), (2, 0))),
+    ]
+
+
+def deadlock_scenario() -> Scenario:
+    """A known circular wait, used to prove the detector has teeth.
+
+    Four messages each span half a 4-node single-lane ring; every
+    header holds its own output segment while waiting for the next
+    node's, which the next message holds.  With ``header_timeout``
+    disabled nothing ever backs off, so the wedge is permanent — the
+    explorer must flag it.  (D8's timeout exists precisely because the
+    paper leaves this corner undefined.)
+    """
+    return Scenario(
+        "4x1-wedge", 4, 1, ((0, 2), (1, 3), (2, 0), (3, 1)),
+        header_timeout=None, max_retries=None,
+    )
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of one full exploration sweep."""
+
+    handshake: List[HandshakeReport] = field(default_factory=list)
+    lifecycle: List[LifecycleReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.handshake) and all(
+            r.ok for r in self.lifecycle
+        )
+
+    @property
+    def total_states(self) -> int:
+        return sum(r.states for r in self.handshake) + sum(
+            r.states for r in self.lifecycle
+        )
+
+    def lines(self) -> List[str]:
+        out = []
+        for hs in self.handshake:
+            status = "ok" if hs.ok else f"{len(hs.violations)} VIOLATIONS"
+            out.append(
+                f"handshake N={hs.nodes}: {hs.states} states, "
+                f"{hs.edges} edges, max skew {hs.max_skew} [{status}]"
+            )
+        for lc in self.lifecycle:
+            problems = len(lc.violations) + len(lc.deadlocks)
+            status = "ok" if lc.ok else f"{problems} PROBLEMS"
+            out.append(
+                f"lifecycle {lc.label}: {lc.states} states, {lc.edges} "
+                f"edges, {lc.completed_runs} quiescent [{status}]"
+            )
+            for violation in lc.violations:
+                out.append(f"  violation: {violation}")
+            for deadlock in lc.deadlocks:
+                out.append(f"  deadlock: {deadlock}")
+        return out
+
+
+def explore_all(
+    handshake_nodes: Iterable[int] = (2, 3, 4, 5),
+    scenarios: Optional[Sequence[Scenario]] = None,
+    max_states: int = 100_000,
+) -> SweepReport:
+    """Run the full default sweep: handshake sizes plus lifecycle scenarios."""
+    report = SweepReport()
+    for nodes in handshake_nodes:
+        report.handshake.append(explore_handshake(nodes, max_states=max_states))
+    for scenario in (default_scenarios() if scenarios is None else scenarios):
+        report.lifecycle.append(
+            explore_lifecycle(
+                scenario.config(), scenario.messages(),
+                label=scenario.label, max_states=max_states,
+            )
+        )
+    return report

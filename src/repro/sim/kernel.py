@@ -62,6 +62,10 @@ class Simulator:
         self._tracing = trace is not None and trace.enabled
         self.events_executed = 0
         self._processes: list[Process] = []
+        # Model-level diagnostics providers (picklable callables returning
+        # a one-line description) appended to livelock error messages so
+        # the report names protocol states, not just event labels.
+        self._diagnostics: list[Callable[[], str]] = []
 
     def __getstate__(self) -> dict:
         """Pickle support for checkpointing.
@@ -246,16 +250,31 @@ class Simulator:
             self._running = False
             self.events_executed += executed
 
+    def add_diagnostic(self, provider: Callable[[], str]) -> None:
+        """Register a model-state describer for livelock error messages.
+
+        Providers must be picklable (bound methods of checkpointable
+        objects or callable classes, not closures) so a restored
+        simulator keeps its diagnostics.
+        """
+        self._diagnostics.append(provider)
+
     def _livelock_diagnostics(self, max_events: int) -> str:
         """Describe the stuck state: clock and the imminent event labels."""
         upcoming = ", ".join(
             f"{event.label or '<unlabelled>'}@{event.time:g}"
             for event in self._queue.peek_events(5)
         )
-        return (
+        message = (
             f"exceeded max_events={max_events} at t={self._now:g}; "
             f"possible livelock in the model (next events: {upcoming})"
         )
+        for provider in self._diagnostics:
+            try:
+                message += f"; {provider()}"
+            except Exception:  # pragma: no cover - diagnostics never mask
+                continue
+        return message
 
     def run_ticks(self, ticks: float) -> None:
         """Convenience: advance the clock by ``ticks`` from the current time."""

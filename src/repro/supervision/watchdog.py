@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.protocol.lifecycle import lifecycle_name
 from repro.sim.kernel import Periodic, Simulator
 from repro.supervision.incidents import Incident, IncidentLog
 
@@ -184,8 +185,11 @@ class Watchdog:
             # by the next probe if not.
             age, bus_id = max(stalled, key=lambda item: (item[0], -item[1]))
             bus = self._routing.buses[bus_id]
-            detail = (f"no progress for {age:g} ticks in phase "
-                      f"{bus.phase.value}")
+            # Incident details speak the lifecycle-FSM vocabulary
+            # (repro.protocol.lifecycle), same as drain errors and
+            # livelock diagnostics.
+            detail = (f"no progress for {age:g} ticks in state "
+                      f"{lifecycle_name(bus.phase)}")
             if self._routing.force_teardown(bus_id):
                 self._report(now, "stalled_bus", f"bus#{bus_id}",
                              FORCE_TEARDOWN, detail)
@@ -194,8 +198,8 @@ class Watchdog:
             for age, bus_id in stalled:
                 bus = self._routing.buses[bus_id]
                 self._report(now, "stalled_bus", f"bus#{bus_id}", REPORT,
-                             f"no progress for {age:g} ticks in phase "
-                             f"{bus.phase.value}")
+                             f"no progress for {age:g} ticks in state "
+                             f"{lifecycle_name(bus.phase)}")
                 # restart the window so an ignored stall is re-reported
                 # once per stall_window, not once per probe
                 signature = self._bus_progress[bus_id][0]

@@ -1,0 +1,154 @@
+"""Edge cases of the Table 1 status register helpers.
+
+:func:`move_sequences_up` and :func:`classify_condition` acquired most of
+their call sites through the fault-evacuation layer, so their boundary
+behaviour (lane 0, the top lane, PE endpoints) deserves direct coverage
+alongside the property tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.status import (
+    ALL_CONDITIONS,
+    classify_condition,
+    code_for,
+    is_legal,
+    move_sequences,
+    move_sequences_up,
+)
+from repro.errors import ProtocolError
+
+
+# ---------------------------------------------------------------------------
+# move_sequences_up boundaries
+# ---------------------------------------------------------------------------
+
+def test_evacuation_from_top_lane_is_rejected():
+    with pytest.raises(ProtocolError, match="cannot evacuate above"):
+        move_sequences_up(2, 2, 2, lanes=3)
+
+
+def test_evacuation_with_single_lane_stack_is_rejected():
+    # k = 1: there is no lane 1 to escape to.
+    with pytest.raises(ProtocolError, match="cannot evacuate above"):
+        move_sequences_up(0, 0, 0, lanes=1)
+
+
+def test_evacuation_entry_below_moving_lane_is_illegal():
+    # Mirrored Figure 7: the bus may enter at {lane, lane + 1}, never below.
+    with pytest.raises(ProtocolError, match="enters upstream"):
+        move_sequences_up(0, 1, 1, lanes=4)
+    with pytest.raises(ProtocolError, match="leaves downstream"):
+        move_sequences_up(1, 1, 0, lanes=4)
+
+
+def test_evacuation_between_pe_endpoints_touches_no_registers():
+    # Source *and* destination INC: the PE drives/reads the lane directly,
+    # so a one-segment bus evacuates without any crossbar sequence.
+    assert move_sequences_up(None, 0, None, lanes=2) == []
+
+
+def test_evacuation_from_lane_zero_is_fully_legal():
+    # The motivating case: a bus trapped on a dying lane-0 segment.
+    for upstream in (0, 1, None):
+        for downstream in (0, 1, None):
+            for sequence in move_sequences_up(upstream, 0, downstream, lanes=2):
+                assert sequence.validates(), (upstream, downstream, sequence)
+
+
+def test_evacuation_walks_the_mirrored_register_trajectory():
+    # Straight-through bus evacuating lane 1 -> 2 in a 3-lane stack: the
+    # upstream INC makes output 2 before breaking output 1, and the
+    # downstream INC holds both input paths through the make step.
+    sequences = move_sequences_up(1, 1, 1, lanes=3)
+    by_port = {(s.side.name, s.lane): s.codes for s in sequences}
+    straight = code_for(1, 1)
+    assert by_port[("UPSTREAM", 2)] == (0b000, code_for(1, 2), code_for(1, 2))
+    assert by_port[("UPSTREAM", 1)] == (straight, straight, 0b000)
+    assert by_port[("DOWNSTREAM", 1)] == (
+        straight, straight | code_for(2, 1), code_for(2, 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# classify_condition edges
+# ---------------------------------------------------------------------------
+
+def test_classify_condition_covers_exactly_figure7():
+    seen = {
+        classify_condition(upstream, 3, downstream)
+        for upstream in (None, 2, 3)
+        for downstream in (None, 2, 3)
+    }
+    assert seen == set(ALL_CONDITIONS)
+
+
+def test_classify_condition_pe_endpoints_count_as_straight():
+    assert classify_condition(None, 1, None) == \
+        "upstream-straight/downstream-straight"
+    assert classify_condition(None, 1, 0) == \
+        "upstream-straight/downstream-below"
+    assert classify_condition(0, 1, None) == \
+        "upstream-below/downstream-straight"
+
+
+def test_classify_condition_at_lane_one():
+    # Lane 1 is the lowest lane a downward move can start from; "below"
+    # then means lane 0.
+    assert classify_condition(0, 1, 0) == "upstream-below/downstream-below"
+    assert classify_condition(1, 1, 1) == \
+        "upstream-straight/downstream-straight"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    lane=st.integers(min_value=1, max_value=7),
+    up_delta=st.sampled_from([None, 0, -1]),
+    down_delta=st.sampled_from([None, 0, -1]),
+)
+def test_classify_condition_always_names_a_figure7_condition(
+    lane, up_delta, down_delta
+):
+    upstream = None if up_delta is None else lane + up_delta
+    downstream = None if down_delta is None else lane + down_delta
+    assert classify_condition(upstream, lane, downstream) in ALL_CONDITIONS
+
+
+# ---------------------------------------------------------------------------
+# Legality properties of the evacuation sequences
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=120, deadline=None)
+@given(
+    lanes=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+def test_evacuation_sequences_stay_table1_legal(lanes, data):
+    lane = data.draw(st.integers(min_value=0, max_value=lanes - 2))
+    upstream = data.draw(st.sampled_from([None, lane, lane + 1]))
+    downstream = data.draw(st.sampled_from([None, lane, lane + 1]))
+    sequences = move_sequences_up(upstream, lane, downstream, lanes)
+    assert len(sequences) <= 4
+    for sequence in sequences:
+        assert sequence.validates()
+        for step in sequence.codes:
+            assert is_legal(step)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lanes=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+def test_evacuation_downstream_step_is_make_before_break(lanes, data):
+    lane = data.draw(st.integers(min_value=0, max_value=lanes - 2))
+    downstream = data.draw(st.sampled_from([lane, lane + 1]))
+    sequences = move_sequences_up(None, lane, downstream, lanes)
+    assert len(sequences) == 1
+    before, make, after = sequences[0].codes
+    assert before == code_for(lane, downstream)
+    assert after == code_for(lane + 1, downstream)
+    assert make == before | after  # both paths live mid-move

@@ -1,0 +1,216 @@
+"""Well-formedness of the declarative protocol transition tables.
+
+These tests treat the tables purely as data: every structural property
+the interpreter and the explorer rely on is asserted here, so a bad
+edit to a table fails fast with a readable message instead of surfacing
+as a mysterious mid-simulation ``ProtocolError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flits import Message, MessageRecord
+from repro.core.virtual_bus import BusPhase
+from repro.protocol.handshake import (
+    BITS_OF_PHASE,
+    HANDSHAKE_TABLE,
+    RULE_OF_PHASE,
+    HandshakePhase,
+    HandshakeState,
+    NeighbourBits,
+    handshake_step,
+)
+from repro.protocol.lifecycle import (
+    LIFECYCLE,
+    PHASE_NAME_OF_STATE,
+    STATE_OF_PHASE_NAME,
+    TERMINAL_STATES,
+    LifecycleEvent,
+    LifecycleState,
+    RefusalKind,
+    has_arc,
+    lifecycle_name,
+    note_refusal,
+    retry_attempts,
+    retry_decision,
+)
+
+
+def _record() -> MessageRecord:
+    return MessageRecord(message=Message(0, 0, 1, data_flits=1))
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle table shape
+# ---------------------------------------------------------------------------
+
+def test_every_arc_source_and_target_is_a_declared_state():
+    for (state, event), arc in LIFECYCLE.items():
+        assert isinstance(state, LifecycleState)
+        assert isinstance(event, LifecycleEvent)
+        assert isinstance(arc.target, LifecycleState)
+
+
+def test_terminal_states_have_no_outgoing_arcs():
+    for (state, _event) in LIFECYCLE:
+        assert state not in TERMINAL_STATES, (
+            f"terminal state {state.value} has an outgoing arc"
+        )
+
+
+def test_every_state_except_new_is_reachable():
+    reachable = {arc.target for arc in LIFECYCLE.values()}
+    for state in LifecycleState:
+        if state is LifecycleState.NEW:
+            continue  # entry point: created by submit(), never a target
+        assert state in reachable, f"{state.value} is unreachable"
+
+
+def test_every_event_appears_in_some_arc():
+    used = {event for (_state, event) in LIFECYCLE}
+    assert used == set(LifecycleEvent)
+
+
+def test_every_nonterminal_state_has_an_exit():
+    sources = {state for (state, _event) in LIFECYCLE}
+    for state in LifecycleState:
+        if state in TERMINAL_STATES:
+            continue
+        assert state in sources, f"{state.value} has no way out"
+
+
+def test_effects_resolve_to_interpreter_handlers():
+    from repro.core.routing import RoutingEngine
+
+    for arc in LIFECYCLE.values():
+        for effect in arc.effects:
+            handler = type(effect).handler
+            assert callable(getattr(RoutingEngine, handler, None)), (
+                f"effect {type(effect).__name__} names missing "
+                f"handler {handler}"
+            )
+
+
+def test_has_arc_matches_the_table():
+    for state in LifecycleState:
+        for event in LifecycleEvent:
+            assert has_arc(state, event) == ((state, event) in LIFECYCLE)
+
+
+# ---------------------------------------------------------------------------
+# State <-> phase vocabulary
+# ---------------------------------------------------------------------------
+
+def test_phase_maps_round_trip():
+    # The state -> phase map is many-to-one (INJECTED and EXTENDING both
+    # present as "extending"), so the inverse must pick a representative
+    # that maps straight back.
+    for name, state in STATE_OF_PHASE_NAME.items():
+        assert PHASE_NAME_OF_STATE[state] == name
+    assert set(STATE_OF_PHASE_NAME) == set(PHASE_NAME_OF_STATE.values())
+
+
+def test_every_bus_phase_has_a_lifecycle_name():
+    for phase in BusPhase:
+        name = lifecycle_name(phase)
+        assert STATE_OF_PHASE_NAME[phase.value].value == name
+
+
+def test_lifecycle_name_accepts_raw_strings():
+    assert lifecycle_name("teardown") == LifecycleState.RELEASING.value
+    assert lifecycle_name(BusPhase.TEARDOWN) == LifecycleState.RELEASING.value
+
+
+# ---------------------------------------------------------------------------
+# Retry classifier
+# ---------------------------------------------------------------------------
+
+def test_note_refusal_routes_each_kind_to_its_counter():
+    record = _record()
+    note_refusal(record, RefusalKind.NACK, now=1.0)
+    note_refusal(record, RefusalKind.WATCHDOG, now=2.0)
+    assert record.nacks == 2 and record.fault_nacks == 0
+    note_refusal(record, RefusalKind.FAULT_NACK, now=3.0)
+    assert record.fault_nacks == 1 and record.first_fault_at == 3.0
+    note_refusal(record, RefusalKind.FAULT_KILL, now=4.0)
+    assert record.fault_kills == 1 and record.first_fault_at == 3.0
+    before = (record.nacks, record.fault_nacks, record.fault_kills)
+    note_refusal(record, RefusalKind.TIMEOUT, now=5.0)
+    assert (record.nacks, record.fault_nacks, record.fault_kills) == before
+
+
+def test_retry_attempts_sums_all_refusal_channels():
+    record = _record()
+    record.nacks = 2
+    record.fault_nacks = 1
+    record.fault_kills = 1
+    record.retries = 3
+    assert retry_attempts(record) == 7
+
+
+def test_retry_decision_abandons_exactly_at_the_cap():
+    record = _record()
+    record.retries = 2
+    assert retry_decision(record, max_retries=None) is \
+        LifecycleEvent.RETRY_ARMED
+    assert retry_decision(record, max_retries=3) is LifecycleEvent.RETRY_ARMED
+    assert retry_decision(record, max_retries=2) is LifecycleEvent.ABANDON
+
+
+# ---------------------------------------------------------------------------
+# Handshake table shape (paper rules 1-5, Figures 9/10)
+# ---------------------------------------------------------------------------
+
+def test_one_rule_per_phase():
+    assert set(RULE_OF_PHASE) == set(HandshakePhase)
+    assert len({rule.rule for rule in HANDSHAKE_TABLE}) == \
+        len(HANDSHAKE_TABLE)
+
+
+def test_exactly_one_rule_does_work_and_one_advances_the_cycle():
+    assert sum(rule.does_work for rule in HANDSHAKE_TABLE) == 1
+    assert sum(rule.advances_cycle for rule in HANDSHAKE_TABLE) == 1
+
+
+def test_bits_follow_the_gray_code_around_the_whole_loop():
+    # Drive one INC with always-satisfied neighbours: its (OD, OC) bits
+    # must track BITS_OF_PHASE through all five rules and return to the
+    # reset encoding.
+    state = HandshakeState(HandshakePhase.WORK, *BITS_OF_PHASE[
+        HandshakePhase.WORK])
+    for _ in range(len(HANDSHAKE_TABLE)):
+        bits = NeighbourBits(state.od, state.oc)
+        rule = RULE_OF_PHASE[state.phase]
+        neighbours = NeighbourBits(
+            rule.requires_od if rule.requires_od is not None else bits.od,
+            rule.requires_oc if rule.requires_oc is not None else bits.oc,
+        )
+        state, fired = handshake_step(state, neighbours, neighbours)
+        assert fired is rule
+        assert (state.od, state.oc) == BITS_OF_PHASE[state.phase]
+    assert state.phase is HandshakePhase.WORK
+
+
+def test_unsatisfied_guard_blocks_the_step():
+    # Rule 3 (SWITCH_CYCLE) requires both neighbours' OD up; with one
+    # neighbour lagging the INC must hold its state.
+    state = HandshakeState(HandshakePhase.SWITCH_CYCLE,
+                           *BITS_OF_PHASE[HandshakePhase.SWITCH_CYCLE])
+    lagging = NeighbourBits(od=False, oc=False)
+    ready = NeighbourBits(od=True, oc=False)
+    after, rule = handshake_step(state, lagging, ready)
+    assert rule is None and after == state
+
+
+@pytest.mark.parametrize("phase", list(HandshakePhase))
+def test_step_from_every_phase_lands_on_the_declared_next_phase(phase):
+    rule = RULE_OF_PHASE[phase]
+    state = HandshakeState(phase, *BITS_OF_PHASE[phase])
+    neighbours = NeighbourBits(
+        rule.requires_od if rule.requires_od is not None else False,
+        rule.requires_oc if rule.requires_oc is not None else False,
+    )
+    after, fired = handshake_step(state, neighbours, neighbours)
+    assert fired is rule
+    assert after.phase is rule.next_phase
