@@ -139,6 +139,23 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--include-wedge", action="store_true",
                          help="also run the known-deadlock sanity scenario "
                               "and require the detector to flag it")
+    explore.add_argument("--symmetry", action="store_true",
+                         help="quotient states by the scenario's valid "
+                              "ring rotations before membership testing")
+    explore.add_argument("--hash-compact", action="store_true",
+                         help="store 128-bit digests instead of full "
+                              "signatures in the seen-set")
+    explore.add_argument("--faults", type=int, default=0, metavar="BUDGET",
+                         help="explore fail/kill/repair interleavings with "
+                              "at most BUDGET segment failures per path "
+                              "(default: 0, healthy network only)")
+    explore.add_argument("--scale", action="store_true",
+                         help="run the N=8, k=4 scale scenario (symmetry + "
+                              "hash compaction forced) instead of the sweep")
+    explore.add_argument("--consistency", action="store_true",
+                         help="cross-validate the scaling modes: exact vs "
+                              "quotiented orbit coverage and exact vs "
+                              "digest verdicts on small scenarios")
     return parser
 
 
@@ -354,16 +371,26 @@ def command_selfcheck(args: argparse.Namespace) -> int:
 
 def command_explore(args: argparse.Namespace) -> int:
     from repro.protocol.explore import (
+        ExploreOptions,
         deadlock_scenario,
         explore_all,
         explore_lifecycle,
         smoke_scenarios,
     )
 
+    if args.scale:
+        return _explore_scale(args)
+    if args.consistency:
+        return _explore_consistency(args)
+
+    options = ExploreOptions(symmetry=args.symmetry,
+                             hash_compact=args.hash_compact,
+                             fault_budget=args.faults)
     handshake_nodes = (2, 3) if args.smoke else (2, 3, 4, 5)
     scenarios = smoke_scenarios() if args.smoke else None
     sweep = explore_all(handshake_nodes=handshake_nodes,
-                        scenarios=scenarios, max_states=args.max_states)
+                        scenarios=scenarios, max_states=args.max_states,
+                        options=options)
     for line in sweep.lines():
         print(line)
     print(f"total: {sweep.total_states} states explored")
@@ -372,7 +399,8 @@ def command_explore(args: argparse.Namespace) -> int:
         wedge = deadlock_scenario()
         report = explore_lifecycle(wedge.config(), wedge.messages(),
                                    label=wedge.label,
-                                   max_states=args.max_states)
+                                   max_states=args.max_states,
+                                   options=options)
         if report.deadlocks and not report.violations:
             print(f"wedge sanity: {wedge.label} correctly flagged as "
                   f"deadlocked ({report.states} states)")
@@ -385,6 +413,96 @@ def command_explore(args: argparse.Namespace) -> int:
         print("\nmodel checking FAILED")
         return 1
     print("all properties hold on every reachable state")
+    return 0
+
+
+def _explore_scale(args: argparse.Namespace) -> int:
+    """The E31 scale run: quotiented + compacted N=8, k=4 exploration."""
+    import time
+
+    from repro.protocol.explore import (
+        ExploreOptions,
+        explore_lifecycle,
+        scale_scenario,
+    )
+
+    scenario = scale_scenario()
+    options = ExploreOptions(symmetry=True, hash_compact=True,
+                             fault_budget=args.faults)
+    max_states = max(args.max_states, 600_000)
+    start = time.perf_counter()
+    report = explore_lifecycle(scenario.config(), scenario.messages(),
+                               label=scenario.label, max_states=max_states,
+                               options=options)
+    elapsed = time.perf_counter() - start
+    status = "ok" if report.ok else (
+        f"{len(report.violations)} violations, "
+        f"{len(report.deadlocks)} deadlocks")
+    print(f"scale {scenario.label}: {report.states} canonical states, "
+          f"{report.edges} edges, {report.completed_runs} quiescent "
+          f"(sym x{report.group_order}, {report.mode}) "
+          f"in {elapsed:.1f}s [{status}]")
+    if not report.ok:
+        print("\nscale exploration FAILED")
+        return 1
+    print("all properties hold on every reachable canonical state")
+    return 0
+
+
+def _explore_consistency(args: argparse.Namespace) -> int:
+    """Cross-validate the scaling modes against the exact explorer.
+
+    Two checks per small scenario: (a) every orbit of the exact
+    reachable set appears in the quotiented run's seen-set, and (b)
+    digest mode reproduces the exact-set run's counts and verdicts.
+    """
+    from repro.protocol.explore import (
+        ExploreOptions,
+        Scenario,
+        _canonical_signature,
+        _prepare_group,
+        explore_lifecycle,
+        symmetry_group,
+    )
+
+    scenarios = [
+        Scenario("2x1-pair", 2, 1, ((0, 1), (1, 0))),
+        Scenario("3x2-ring", 3, 2, ((0, 1), (1, 2), (2, 0))),
+        Scenario("4x2-ring", 4, 2, ((0, 1), (1, 2), (2, 3), (3, 0))),
+    ]
+    failed = False
+    for scenario in scenarios:
+        config = scenario.config()
+        messages = scenario.messages()
+        group = _prepare_group(symmetry_group(config, messages))
+        exact = explore_lifecycle(
+            config, messages, label=scenario.label,
+            max_states=args.max_states,
+            options=ExploreOptions(keep_state_keys=True))
+        orbits = {_canonical_signature(key, config.nodes, group)
+                  for key in exact.state_keys}
+        quotient = explore_lifecycle(
+            config, messages, label=scenario.label,
+            max_states=args.max_states,
+            options=ExploreOptions(symmetry=True, keep_state_keys=True))
+        covered = orbits <= set(quotient.state_keys)
+        hashed = explore_lifecycle(
+            config, messages, label=scenario.label,
+            max_states=args.max_states,
+            options=ExploreOptions(hash_compact=True))
+        digests_agree = (
+            (hashed.states, hashed.edges, hashed.completed_runs, hashed.ok)
+            == (exact.states, exact.edges, exact.completed_runs, exact.ok))
+        verdict = "ok" if covered and digests_agree else "MISMATCH"
+        print(f"consistency {scenario.label}: exact={exact.states} "
+              f"orbits={len(orbits)} quotient={quotient.states} "
+              f"(sym x{quotient.group_order}) covered={covered} "
+              f"digests={digests_agree} [{verdict}]")
+        failed = failed or verdict != "ok"
+    if failed:
+        print("\nconsistency check FAILED")
+        return 1
+    print("scaling modes agree with the exact explorer")
     return 0
 
 

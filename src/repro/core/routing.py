@@ -352,6 +352,100 @@ class RoutingEngine:
         """Virtual buses currently holding at least one segment."""
         return sum(1 for bus in self.buses.values() if bus.alive)
 
+    def exploration_signature(self) -> tuple:
+        """Hashable digest of every protocol-visible engine component.
+
+        The model checker (:mod:`repro.protocol.explore`) identifies two
+        worlds exactly when their signatures agree, so this must cover
+        every piece of engine state that can influence a future
+        transition — and nothing that cannot (stall counters are elided
+        when no ``header_timeout`` bounds them, otherwise states would
+        differ forever without behavioural consequence).
+
+        Components, in order:
+
+        0. per-node queued message ids (FIFO order),
+        1. per-node deferred message ids (FIFO order),
+        2. bus creation order, as message ids (tick processing iterates
+           the bus dict, so the order is behaviourally significant),
+        3. per-bus observable state ``(message_id, phase, hops,
+           signal_position, data_sent, released_from, rx_holders)``,
+        4. sorted ``(message_id, stall_ticks)`` pairs (empty when no
+           header timeout is configured),
+        5. sorted per-message lifecycle/record tuples,
+        6.–8. per-node ``tx_active`` / ``rx_active`` /
+           ``awaiting_retry`` counters.
+
+        Node-indexed components are rotation-covariant and message ids
+        appear only through these tuples, which is what lets the
+        explorer's symmetry quotient relabel them structurally.
+        """
+        by_message = {
+            bus.bus_id: bus.message.message_id for bus in self.buses.values()
+        }
+        queues = tuple(
+            tuple(m.message_id for m in q) for q in self._queues
+        )
+        deferred = tuple(
+            tuple(m.message_id for m in q) for q in self._deferred
+        )
+        bus_order = tuple(by_message[bus_id] for bus_id in self.buses)
+        bus_states = tuple(
+            (
+                by_message[bus.bus_id],
+                bus.phase.value,
+                tuple(bus.hops),
+                bus.signal_position,
+                bus.data_sent,
+                -1 if bus.released_from is None else bus.released_from,
+                tuple(sorted(self._rx_holders.get(bus.bus_id, ()))),
+            )
+            for bus in self.buses.values()
+        )
+        if self.config.header_timeout is None:
+            stalls: tuple[tuple[int, int], ...] = ()
+        else:
+            stalls = tuple(
+                sorted(
+                    (by_message[bus_id], ticks)
+                    for bus_id, ticks in self._stall_ticks.items()
+                    if bus_id in self.buses
+                )
+            )
+        # Without a retry cap the refusal counters are behaviourally
+        # inert under the explorer's untimed abstraction — they feed
+        # only the backoff delay (which nondeterministic timer firing
+        # abstracts away) and statistics — so they are elided exactly
+        # like uncapped stall counters: otherwise one dead segment plus
+        # unlimited retries makes the signature space infinite.
+        capped = self.config.max_retries is not None
+        records = tuple(
+            (
+                message_id,
+                self._lifecycle[message_id].value,
+                record.retries if capped else 0,
+                record.nacks if capped else 0,
+                record.fault_nacks if capped else 0,
+                record.deferred,
+                record.backoff_floor if capped else 0,
+                record.abandoned,
+                record.shed,
+                record.finished,
+            )
+            for message_id, record in sorted(self.records.items())
+        )
+        return (
+            queues,
+            deferred,
+            bus_order,
+            bus_states,
+            stalls,
+            records,
+            tuple(self._tx_active),
+            tuple(self._rx_active),
+            tuple(self._awaiting_retry_by_node),
+        )
+
     def flit_tick(self) -> None:
         """Advance the protocol by one flit period.
 

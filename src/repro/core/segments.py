@@ -167,6 +167,21 @@ class SegmentGrid:
             self.total_repairs,
         )
 
+    def health_signature(
+        self, rotate: int = 0
+    ) -> tuple[tuple[int, int, str], ...]:
+        """Sorted ``(segment, lane, health)`` for every non-OK segment.
+
+        ``rotate`` relabels segment columns by ``(segment + rotate) % N``
+        before sorting — the ring-rotation the model checker's symmetry
+        quotient applies when it compares two fault configurations up to
+        cyclic relabelling.  O(faulty), independent of ``N * k``.
+        """
+        return tuple(sorted(
+            ((segment + rotate) % self.nodes, lane, health.value)
+            for (segment, lane), health in self._faulty_index.items()
+        ))
+
     def is_packed(self, segment: int) -> bool:
         """True iff the column's occupied lanes are exactly ``0..m-1``.
 

@@ -8,9 +8,13 @@ INCs; this package models what happens when some of them break.  See
   serialisable schedule of segment / lane / INC outages and repairs.
 * :mod:`repro.faults.inject` — :class:`FaultManager`: drives a plan
   through a live ring's grid, routing, and compaction engines.
+* :mod:`repro.faults.transitions` — the single-target OK/DYING/DEAD
+  health transitions both the manager and the protocol model checker
+  apply (one fault semantics, two drivers).
 """
 
 from repro.faults.inject import FaultManager, FaultStats
+from repro.faults.transitions import fail_target, kill_target, repair_target
 from repro.faults.plan import (
     DEFAULT_GRACE,
     FaultEvent,
@@ -28,7 +32,10 @@ __all__ = [
     "FaultPlan",
     "FaultManager",
     "FaultStats",
+    "fail_target",
+    "kill_target",
     "merge",
     "parse_spec",
+    "repair_target",
     "total_failed_segments",
 ]

@@ -37,9 +37,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.wiring import Observability
 
 from repro.core.segments import SegmentGrid
-from repro.core.status import PortHealth
 from repro.errors import FaultError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.transitions import fail_target, kill_target, repair_target
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -147,9 +147,8 @@ class FaultManager:
                 self.stats.incs_dropped += 1
                 self._record("inc_drop", f"inc={inc}")
         for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):
-            if self.grid.health(segment, lane) is not PortHealth.OK:
+            if not fail_target(self.grid, segment, lane):
                 continue  # already failing or dead; first announcement wins
-            self.grid.set_health(segment, lane, PortHealth.DYING)
             self.stats.segments_failed += 1
             epoch = self._bump_epoch(segment, lane)
             self._record("fault_dying", f"segment=({segment}, {lane})",
@@ -166,15 +165,15 @@ class FaultManager:
     def _kill(self, segment: int, lane: int, epoch: int) -> None:
         if self._epoch.get((segment, lane)) != epoch:
             return  # repaired or re-failed since the DYING announcement
-        if self.grid.health(segment, lane) is not PortHealth.DYING:
-            return
-        self.grid.set_health(segment, lane, PortHealth.DEAD)
-        self.stats.segments_killed += 1
-        occupant = self.grid.occupant(segment, lane)
-        self._record("fault_dead", f"segment=({segment}, {lane})",
-                     occupant=occupant)
-        if occupant is not None:
-            self.routing.fail_bus(occupant, segment, lane)
+
+        def note_dead(occupant: Optional[int]) -> None:
+            self.stats.segments_killed += 1
+            self._record("fault_dead", f"segment=({segment}, {lane})",
+                         occupant=occupant)
+
+        applied, occupant = kill_target(self.grid, self.routing, segment,
+                                        lane, on_dead=note_dead)
+        if applied and occupant is not None:
             self.stats.buses_killed += 1
 
     def _repair(self, event: FaultEvent) -> None:
@@ -189,9 +188,8 @@ class FaultManager:
                 self.stats.incs_restored += 1
                 self._record("inc_restore", f"inc={inc}")
         for segment, lane in event.targets(self.grid.nodes, self.grid.lanes):
-            if self.grid.health(segment, lane) is PortHealth.OK:
-                continue
-            self.grid.set_health(segment, lane, PortHealth.OK)
+            if not repair_target(self.grid, segment, lane):
+                continue  # already healthy
             self.stats.segments_repaired += 1
             self._bump_epoch(segment, lane)
             self._record("fault_repair", f"segment=({segment}, {lane})")

@@ -1,0 +1,88 @@
+"""Single-target :class:`~repro.core.status.PortHealth` transitions.
+
+These three functions are the *only* code in the repository that moves a
+segment between OK / DYING / DEAD.  :class:`repro.faults.inject.FaultManager`
+calls them when executing a timed :class:`~repro.faults.plan.FaultPlan`
+against a live simulator, and :mod:`repro.protocol.explore` calls them when
+exploring fail/repair interleavings nondeterministically — so the model
+checker exercises exactly the health semantics the production fault layer
+runs, rather than a parallel fault model.
+
+The split of one *fail* into an announcement (``fail_target``, OK → DYING)
+and a delayed kill (``kill_target``, DYING → DEAD plus occupant teardown)
+mirrors the hardware's grace window: policy about *when* the kill happens
+(a timer in the fault manager, an adversarial scheduler move in the
+explorer) stays with the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.segments import SegmentGrid
+from repro.core.status import PortHealth
+
+__all__ = ["fail_target", "kill_target", "repair_target"]
+
+
+def fail_target(grid: SegmentGrid, segment: int, lane: int) -> bool:
+    """Announce an outage: OK → DYING.
+
+    The segment keeps carrying its current occupant (compaction's
+    evacuation pass will try to migrate it off make-before-break) but
+    accepts no new claims.  Returns ``False`` — and changes nothing —
+    when the segment is already DYING or DEAD: the first announcement
+    wins, exactly as in :meth:`FaultManager._fail`.
+    """
+    if grid.health(segment, lane) is not PortHealth.OK:
+        return False
+    grid.set_health(segment, lane, PortHealth.DYING)
+    return True
+
+
+def kill_target(
+    grid: SegmentGrid,
+    routing: object,
+    segment: int,
+    lane: int,
+    on_dead: Optional[Callable[[Optional[int]], None]] = None,
+) -> Tuple[bool, Optional[int]]:
+    """Execute a pending outage: DYING → DEAD, tearing down any occupant.
+
+    ``routing`` is the ring's :class:`~repro.core.routing.RoutingEngine`
+    (or any object with its ``fail_bus`` signature); a bus still holding
+    the segment when it dies loses its carrier and is torn down through
+    the real protocol path (delivered messages complete, undelivered ones
+    are Nacked back to the source).  ``on_dead`` — when given — fires
+    after the health transition but *before* the teardown, receiving the
+    occupant bus id (or ``None``); the fault manager records its
+    ``fault_dead`` trace entry there so entry ordering matches the
+    hardware's announce-then-lose-carrier sequence.
+
+    Returns ``(applied, killed_bus_id)``.  ``applied`` is ``False`` when
+    the segment is not currently DYING — a repair (or re-fail) since the
+    announcement cancels the kill, the epoch rule of
+    :class:`~repro.faults.inject.FaultManager`.
+    """
+    if grid.health(segment, lane) is not PortHealth.DYING:
+        return False, None
+    grid.set_health(segment, lane, PortHealth.DEAD)
+    occupant = grid.occupant(segment, lane)
+    if on_dead is not None:
+        on_dead(occupant)
+    if occupant is not None:
+        routing.fail_bus(occupant, segment, lane)  # type: ignore[attr-defined]
+    return True, occupant
+
+
+def repair_target(grid: SegmentGrid, segment: int, lane: int) -> bool:
+    """Return a segment to service: DYING/DEAD → OK.
+
+    Returns ``False`` when the segment is already healthy.  Callers that
+    track lane monotonicity must re-arm their trackers afterwards: an
+    evacuation during the outage may have legally moved hops *up*.
+    """
+    if grid.health(segment, lane) is PortHealth.OK:
+        return False
+    grid.set_health(segment, lane, PortHealth.OK)
+    return True

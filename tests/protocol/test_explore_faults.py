@@ -1,0 +1,180 @@
+"""Fault-aware exploration: degradation is adversarial, recovery is checked.
+
+The fault moves reuse :mod:`repro.faults.transitions` — the same
+OK -> DYING -> DEAD -> OK arcs the production :class:`FaultManager`
+drives — so what the checker verifies is the deployed fault semantics,
+not a parallel model.  Three kinds of guarantees are pinned here:
+
+* *conformance scripts* — seeded fail/evacuate/repair and
+  fail/kill/retry/repair paths replay deterministically through the
+  real engines with zero invariant violations, ending quiescent;
+* *exhaustive sweeps* — small rings stay deadlock-free under every
+  interleaving of one outage with the protocol (liveness is judged on
+  protocol moves alone: the environment never has to cooperate);
+* *teeth* — the known 4x1 circular wait stays flagged even when fault
+  moves could "rescue" it by tearing a bus down, and a zero budget
+  reproduces the healthy sweep bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.status import PortHealth
+from repro.errors import ProtocolError
+from repro.protocol.explore import (
+    ExploreOptions,
+    Scenario,
+    deadlock_scenario,
+    explore_all,
+    explore_lifecycle,
+    fault_scenarios,
+    run_script,
+)
+
+PAIR = Scenario("3x2-pair", 3, 2, ((0, 1), (1, 0)))
+
+
+# ---------------------------------------------------------------------------
+# Seeded conformance scripts
+# ---------------------------------------------------------------------------
+
+def test_seeded_fail_evacuate_repair_reaches_clean_quiescence():
+    # Establish both buses, fail the segment under the streaming bus,
+    # let compaction evacuate it make-before-break, repair, finish.
+    script = [
+        ("tick",), ("tick",),
+        ("fail", 0, 1),
+        ("compact",),
+        ("repair", 0, 1),
+    ] + [("tick",)] * 7
+    result = run_script(PAIR.config(), PAIR.messages(), script,
+                        ExploreOptions(fault_budget=1))
+    assert result.violations == []
+    assert result.pending == 0 and result.armed_timers == 0
+    grid = result.world.grid
+    assert all(grid.health(s, l) is PortHealth.OK
+               for s in range(3) for l in range(2))
+    # The evacuation actually happened: the bus ended on a lower lane.
+    record = result.world.engine.records[0]
+    assert record.finished and record.fault_kills == 0
+
+
+def test_seeded_fail_kill_retry_repair_completes_the_message():
+    # Kill the half-established bus outright: the message is fault-
+    # nacked, retries after its timer, and completes on repaired
+    # hardware — Theorem 1 and Table 1 hold at every step.
+    script = [
+        ("tick",),
+        ("fail", 0, 1),
+        ("kill", 0, 1),
+        ("repair", 0, 1),
+        ("timer", 0),
+    ] + [("tick",)] * 8
+    result = run_script(PAIR.config(), PAIR.messages(), script,
+                        ExploreOptions(fault_budget=1))
+    assert result.violations == []
+    assert result.pending == 0
+    record = result.world.engine.records[0]
+    assert record.finished
+    assert record.fault_kills == 1 and record.retries == 1
+
+
+def test_fault_moves_require_budget():
+    result = run_script(PAIR.config(), PAIR.messages(),
+                        [("tick",), ("fail", 0, 1)],
+                        ExploreOptions(fault_budget=1))
+    assert result.world.fails_used == 1
+    # Idempotent on an already-failing segment: no budget burned.
+    result = run_script(PAIR.config(), PAIR.messages(),
+                        [("tick",), ("fail", 0, 1), ("fail", 0, 1)],
+                        ExploreOptions(fault_budget=2))
+    assert result.world.fails_used == 1
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive fault sweeps
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scenario", fault_scenarios()[:2],
+                         ids=lambda s: s.label)
+def test_small_rings_stay_deadlock_free_under_one_fault(scenario):
+    report = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000, options=ExploreOptions(fault_budget=1))
+    assert report.ok, (report.violations[:3], report.deadlocks[:3])
+    assert report.fault_edges > 0
+    assert report.completed_runs >= 1
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", fault_scenarios()[2:],
+                         ids=lambda s: s.label)
+def test_larger_rings_stay_deadlock_free_under_one_fault(scenario):
+    report = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000, options=ExploreOptions(fault_budget=1))
+    assert report.ok, (report.violations[:3], report.deadlocks[:3])
+    assert report.fault_edges > 0
+
+
+def test_restricted_fault_targets_bound_the_blast_radius():
+    scenario = fault_scenarios()[0]
+    report = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000,
+        options=ExploreOptions(fault_budget=1, fault_targets=((0, 1),)))
+    assert report.ok
+    assert report.fault_edges > 0
+    full = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000, options=ExploreOptions(fault_budget=1))
+    assert report.states < full.states
+
+
+def test_wedge_stays_flagged_with_fault_moves_enabled():
+    # A kill could "free" the circular wait — but liveness may not
+    # depend on the environment breaking hardware, so the wedge must
+    # still be reported on protocol moves alone.
+    scenario = deadlock_scenario()
+    report = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000, options=ExploreOptions(fault_budget=1))
+    assert not report.ok
+    assert report.deadlocks
+    assert report.fault_edges > 0
+    deadlock_traces = [t for t in report.traces if t.kind == "deadlock"]
+    assert deadlock_traces
+
+
+# ---------------------------------------------------------------------------
+# Budget zero is the healthy sweep, exactly
+# ---------------------------------------------------------------------------
+
+def test_zero_budget_reproduces_the_e30_sweep_exactly():
+    healthy = explore_all()
+    gated = explore_all(options=ExploreOptions(fault_budget=0))
+    assert healthy.total_states == 1762
+    assert gated.total_states == 1762
+    assert healthy.ok and gated.ok
+    for a, b in zip(healthy.lifecycle, gated.lifecycle):
+        assert (a.states, a.edges, a.completed_runs) == \
+               (b.states, b.edges, b.completed_runs)
+        assert b.fault_edges == 0
+
+
+# ---------------------------------------------------------------------------
+# Option validation
+# ---------------------------------------------------------------------------
+
+def test_negative_budget_is_rejected():
+    with pytest.raises(ProtocolError):
+        explore_lifecycle(PAIR.config(), PAIR.messages(),
+                          options=ExploreOptions(fault_budget=-1))
+
+
+def test_out_of_grid_fault_target_is_rejected():
+    with pytest.raises(ProtocolError):
+        explore_lifecycle(PAIR.config(), PAIR.messages(),
+                          options=ExploreOptions(fault_budget=1,
+                                                 fault_targets=((7, 0),)))

@@ -1,0 +1,74 @@
+"""Hash compaction is a memory optimisation, not a semantic change.
+
+Digest mode replaces stored canonical signatures with 128-bit blake2b
+digests.  On every scenario the checker ships, the digest-backed run
+must produce the *same exploration* as the exact-set run — identical
+state and edge counts, identical quiescent-state counts, identical
+verdicts — under both the plain and the quotiented front end.  Any
+divergence would mean a digest collision (probability ~1e-27 at these
+sizes) or, far more likely, a bug in the compaction plumbing; either
+way it must fail loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.explore import (
+    ExploreOptions,
+    deadlock_scenario,
+    default_scenarios,
+    explore_lifecycle,
+    fault_scenarios,
+)
+
+
+def _run(scenario, **kwargs):
+    return explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        options=ExploreOptions(**kwargs))
+
+
+def _fingerprint(report):
+    return (report.states, report.edges, report.completed_runs,
+            report.fault_edges, report.ok,
+            tuple(report.violations), tuple(report.deadlocks))
+
+
+@pytest.mark.parametrize("scenario", default_scenarios(),
+                         ids=lambda s: s.label)
+def test_hash_mode_matches_exact_mode(scenario):
+    exact = _run(scenario, hash_compact=False)
+    hashed = _run(scenario, hash_compact=True)
+    assert exact.mode == "exact" and hashed.mode == "hash"
+    assert _fingerprint(hashed) == _fingerprint(exact)
+
+
+@pytest.mark.parametrize("scenario", default_scenarios(),
+                         ids=lambda s: s.label)
+def test_hash_mode_matches_exact_mode_under_symmetry(scenario):
+    exact = _run(scenario, symmetry=True, hash_compact=False)
+    hashed = _run(scenario, symmetry=True, hash_compact=True)
+    assert _fingerprint(hashed) == _fingerprint(exact)
+    assert hashed.group_order == exact.group_order
+
+
+def test_hash_mode_matches_exact_mode_with_faults():
+    scenario = fault_scenarios()[0]
+    exact = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000, options=ExploreOptions(fault_budget=1))
+    hashed = explore_lifecycle(
+        scenario.config(), scenario.messages(), label=scenario.label,
+        max_states=400_000,
+        options=ExploreOptions(fault_budget=1, hash_compact=True))
+    assert _fingerprint(hashed) == _fingerprint(exact)
+    assert hashed.fault_edges > 0
+
+
+def test_hash_mode_preserves_negative_verdicts():
+    scenario = deadlock_scenario()
+    exact = _run(scenario)
+    hashed = _run(scenario, hash_compact=True)
+    assert not exact.ok and not hashed.ok
+    assert _fingerprint(hashed) == _fingerprint(exact)
