@@ -1,0 +1,130 @@
+"""Resilience benchmark: the acceptance storm soak, measured.
+
+A 10k-tick seeded fault storm on an N=16, k=4 ring — over 30% of all
+lane-segments cycle through fail -> repair — with the recovery loop
+armed and the soak invariant monitors sweeping continuously.  The run
+must end *clean* (zero invariant violations, every message accounted);
+the bench then reports:
+
+* throughput (messages completed per wall second) for the perf gate's
+  informational block;
+* MTTR (mean ticks from a message's first fault hit to delivery) and
+  goodput retention against a healthy twin — the resilience headline
+  numbers — in the ``resilience`` block of ``BENCH_resilience.json``;
+* the same storm with the recovery loop open, so the delta the loop
+  buys is part of the committed perf trajectory.
+
+Emits ``BENCH_resilience.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fault_storm.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from perf_common import emit, time_scenario  # noqa: E402
+
+from repro.chaos import SoakConfig, parse_chaos_spec, run_soak  # noqa: E402
+from repro.faults.plan import total_failed_segments  # noqa: E402
+from repro.resilience import RecoveryConfig  # noqa: E402
+
+NODES = 16
+LANES = 4
+TICKS = 10_000.0
+RATE = 0.02
+FLITS = 8
+SEED = 7
+SPEC = "storm:0.35@500+3000%400"
+
+CONFIG = SoakConfig(
+    nodes=NODES, lanes=LANES, ticks=TICKS, rate=RATE, data_flits=FLITS,
+    seed=SEED, spec=SPEC, recovery=RecoveryConfig(),
+)
+
+_LAST: dict[str, object] = {}
+
+
+def storm_soak_recovered() -> int:
+    result = run_soak(CONFIG, healthy_baseline=True)
+    _LAST["recovered"] = result
+    return result.completed
+
+
+def storm_soak_open_loop() -> int:
+    result = run_soak(
+        SoakConfig(nodes=NODES, lanes=LANES, ticks=TICKS, rate=RATE,
+                   data_flits=FLITS, seed=SEED, spec=SPEC, recovery=None),
+        healthy_baseline=False,
+    )
+    _LAST["open_loop"] = result
+    return result.completed
+
+
+def main() -> int:
+    plan = parse_chaos_spec(SPEC, NODES, LANES, seed=SEED)
+    cycled = total_failed_segments(plan, NODES, LANES)
+    fraction_cycled = cycled / (NODES * LANES)
+
+    results = {
+        "storm_soak_recovered": time_scenario(storm_soak_recovered),
+        "storm_soak_open_loop": time_scenario(storm_soak_open_loop),
+    }
+    recovered = _LAST["recovered"]
+    open_loop = _LAST["open_loop"]
+
+    failures = []
+    if fraction_cycled < 0.30:
+        failures.append(
+            f"storm only cycles {fraction_cycled:.0%} of segments "
+            f"(acceptance floor is 30%)")
+    for label, result in (("recovered", recovered),
+                          ("open_loop", open_loop)):
+        if result.violations:
+            failures.append(
+                f"{label} soak saw {len(result.violations)} invariant "
+                f"violation(s): {result.violations[0]}")
+        if result.pending:
+            failures.append(
+                f"{label} soak left {result.pending} message(s) pending")
+
+    emit("resilience", results, extra={
+        "scenario": {
+            "nodes": NODES, "lanes": LANES, "ticks": TICKS, "rate": RATE,
+            "flits": FLITS, "seed": SEED, "spec": SPEC,
+            "segments_cycled": cycled,
+            "fraction_cycled": round(fraction_cycled, 3),
+        },
+        "resilience": {
+            "mttr_ticks": recovered.mttr,
+            "mttr_ticks_open_loop": open_loop.mttr,
+            "goodput_retention": recovered.goodput_retention,
+            "goodput_msgs_per_tick": recovered.goodput,
+            "goodput_open_loop": open_loop.goodput,
+            "offered": recovered.offered,
+            "completed": recovered.completed,
+            "abandoned": recovered.abandoned,
+            "shed": recovered.shed,
+            "fault_hit_deliveries": recovered.rerouted,
+            "recovery_actions": recovered.recovery_actions,
+            "violations": len(recovered.violations),
+            "signature": recovered.signature,
+        },
+        "metric_note": "ops_per_sec is messages completed per wall second",
+    })
+    if failures:
+        print("resilience acceptance FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"resilience acceptance OK: {cycled}/{NODES * LANES} segments "
+          f"cycled ({fraction_cycled:.0%}), MTTR "
+          f"{recovered.mttr:.1f} ticks, retention "
+          f"{recovered.goodput_retention:.1%}, 0 violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

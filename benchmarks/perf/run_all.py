@@ -1,4 +1,4 @@
-"""Run the whole perf suite: kernel, compaction, end-to-end, obs overhead.
+"""Run the whole perf suite: kernel, compaction, end-to-end, obs, resilience.
 
 Each bench runs in a fresh interpreter so one layer's warm caches and
 allocator state cannot leak into another's numbers.  Emits the three
@@ -22,7 +22,7 @@ import sys
 
 HERE = pathlib.Path(__file__).resolve().parent
 BENCHES = ("bench_kernel.py", "bench_compaction.py", "bench_end2end.py",
-           "bench_obs_overhead.py")
+           "bench_obs_overhead.py", "bench_fault_storm.py")
 
 
 def main() -> int:

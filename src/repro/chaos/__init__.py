@@ -1,0 +1,53 @@
+"""Chaos harness: seeded adversarial fault schedules plus soak runs.
+
+The recovery loop (:mod:`repro.resilience`) is only trustworthy if it is
+exercised against failure patterns nastier than the hand-written plans in
+the test suite.  This package provides that pressure:
+
+* :mod:`repro.chaos.schedules` — seeded generators for fault storms,
+  rolling waves, flapping segments, and correlated INC outages, all
+  emitting ordinary :class:`~repro.faults.plan.FaultPlan` objects (and a
+  compact spec grammar for the CLI);
+* :mod:`repro.chaos.monitors` — continuously-evaluated soak invariants
+  (delivery conservation, no stuck buses, Lemma 1 skew) that *record*
+  violations instead of raising, so a soak reports the full damage;
+* :mod:`repro.chaos.soak` — the runner: traffic under chaos with the
+  monitors armed, measuring MTTR and goodput retention against a healthy
+  twin, with a deterministic result signature for replay checks.
+
+Chaos runs use the production fault layer, routing, and recovery code
+unchanged — nothing here is simulation-only scaffolding.
+"""
+
+from repro.chaos.monitors import (
+    ConservationMonitor,
+    MonitorSuite,
+    SkewMonitor,
+    StuckBusMonitor,
+    Violation,
+)
+from repro.chaos.schedules import (
+    flapping,
+    inc_outage,
+    parse_chaos_spec,
+    rolling_wave,
+    storm,
+)
+from repro.chaos.soak import SoakConfig, SoakResult, build_soak_ring, run_soak
+
+__all__ = [
+    "ConservationMonitor",
+    "MonitorSuite",
+    "SkewMonitor",
+    "StuckBusMonitor",
+    "Violation",
+    "flapping",
+    "inc_outage",
+    "parse_chaos_spec",
+    "rolling_wave",
+    "storm",
+    "SoakConfig",
+    "SoakResult",
+    "build_soak_ring",
+    "run_soak",
+]

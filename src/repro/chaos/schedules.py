@@ -1,0 +1,249 @@
+"""Seeded chaos-schedule generators: adversarial fault plans as data.
+
+Each generator returns an ordinary
+:class:`~repro.faults.plan.FaultPlan` — chaos runs use the production
+fault layer unchanged, so every schedule is replayable (plan JSON plus
+seed reproduces the run bit-for-bit) and every outage goes through the
+real DYING → DEAD grace machinery.
+
+Four archetypes cover the failure shapes the recovery loop must survive:
+
+* :func:`storm` — a burst of random segment outages spread over a window,
+  each later repaired (the classic correlated-failure storm);
+* :func:`rolling_wave` — one lane's outage sweeps INC by INC around the
+  ring, chasing traffic as compaction migrates it;
+* :func:`flapping` — a few segments fail → repair → fail repeatedly with
+  periods near the DYING → DEAD grace window, the circuit breaker's
+  reason to exist;
+* :func:`inc_outage` — several whole INCs drop simultaneously and return
+  together (a correlated switch-rail outage, fault model F5).
+
+:func:`parse_chaos_spec` gives them a compact, composable CLI grammar.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import FaultError
+from repro.faults.plan import DEFAULT_GRACE, FaultEvent, FaultKind, FaultPlan
+from repro.sim.rng import RandomStream
+
+__all__ = [
+    "storm",
+    "rolling_wave",
+    "flapping",
+    "inc_outage",
+    "parse_chaos_spec",
+]
+
+
+def storm(
+    nodes: int,
+    lanes: int,
+    rng: RandomStream,
+    fraction: float = 0.3,
+    at: float = 200.0,
+    spread: float = 400.0,
+    grace: float = DEFAULT_GRACE,
+    repair_after: float = 300.0,
+) -> FaultPlan:
+    """A correlated outage burst: ``fraction`` of all lane-segments fail
+    at seeded-random instants in ``[at, at + spread]``; each is repaired
+    ``repair_after`` ticks after it dies.
+    """
+    return FaultPlan.random(
+        nodes, lanes, fraction=fraction, at=at, rng=rng,
+        grace=grace, spread=spread, repair_after=repair_after,
+    )
+
+
+def rolling_wave(
+    nodes: int,
+    lanes: int,
+    rng: RandomStream,
+    lane: int = 0,
+    at: float = 100.0,
+    step: float = 32.0,
+    grace: float = DEFAULT_GRACE,
+    width: int = 2,
+) -> FaultPlan:
+    """An outage wave sweeping one lane around the ring.
+
+    Segment ``i`` of ``lane`` fails at ``at + i * step`` and is repaired
+    once the wave front is ``width`` segments past it — so at any instant
+    roughly ``width`` consecutive segments are out, and the failure
+    region *moves*, chasing buses that evacuation just parked.
+    """
+    if not 0 <= lane < lanes:
+        raise FaultError(f"wave lane {lane} outside 0..{lanes - 1}")
+    if step <= 0:
+        raise FaultError(f"wave step must be positive, got {step}")
+    if width < 1:
+        raise FaultError(f"wave width must be >= 1, got {width}")
+    events: List[FaultEvent] = []
+    for segment in range(nodes):
+        fail_at = at + segment * step
+        events.append(FaultEvent(
+            time=fail_at, kind=FaultKind.SEGMENT,
+            segment=segment, lane=lane, grace=grace,
+        ))
+        events.append(FaultEvent(
+            time=fail_at + grace + width * step, kind=FaultKind.SEGMENT,
+            action="repair", segment=segment, lane=lane,
+        ))
+    return FaultPlan(tuple(events))
+
+
+def flapping(
+    nodes: int,
+    lanes: int,
+    rng: RandomStream,
+    targets: int = 2,
+    flaps: int = 4,
+    at: float = 100.0,
+    period: float = 2 * DEFAULT_GRACE,
+    grace: float = DEFAULT_GRACE,
+) -> FaultPlan:
+    """``targets`` seeded-random segments flap ``flaps`` times each.
+
+    One flap is fail at ``t``, repair at ``t + period``; the next flap
+    starts at ``t + 2 * period``.  With ``period`` near ``grace`` the
+    repairs land both before and after the DYING → DEAD transition across
+    the sequence, exercising the fault layer's epoch guard and giving the
+    circuit breaker its canonical trip pattern.
+    """
+    if targets < 1:
+        raise FaultError(f"flapping needs >= 1 target, got {targets}")
+    if flaps < 1:
+        raise FaultError(f"flapping needs >= 1 flap, got {flaps}")
+    if period <= 0:
+        raise FaultError(f"flap period must be positive, got {period}")
+    population = [(segment, lane)
+                  for segment in range(nodes) for lane in range(lanes)]
+    chosen = rng.sample(population, min(targets, len(population)))
+    events: List[FaultEvent] = []
+    for segment, lane in chosen:
+        start = at + rng.uniform(0.0, period)
+        for flap in range(flaps):
+            fail_at = start + flap * 2 * period
+            events.append(FaultEvent(
+                time=fail_at, kind=FaultKind.SEGMENT,
+                segment=segment, lane=lane, grace=grace,
+            ))
+            events.append(FaultEvent(
+                time=fail_at + period, kind=FaultKind.SEGMENT,
+                action="repair", segment=segment, lane=lane,
+            ))
+    return FaultPlan(tuple(events))
+
+
+def inc_outage(
+    nodes: int,
+    lanes: int,
+    rng: RandomStream,
+    count: int = 1,
+    at: float = 200.0,
+    hold: float = 400.0,
+    grace: float = DEFAULT_GRACE,
+) -> FaultPlan:
+    """``count`` seeded-random INCs drop at ``at`` and all return together
+    at ``at + hold`` — a correlated switch outage (fault model F5)."""
+    if not 1 <= count <= nodes:
+        raise FaultError(f"inc_outage count {count} outside 1..{nodes}")
+    if hold <= 0:
+        raise FaultError(f"inc_outage hold must be positive, got {hold}")
+    chosen = rng.sample(list(range(nodes)), count)
+    events: List[FaultEvent] = []
+    for inc in chosen:
+        events.append(FaultEvent(
+            time=at, kind=FaultKind.INC, segment=inc, grace=grace,
+        ))
+        events.append(FaultEvent(
+            time=at + hold, kind=FaultKind.INC, action="repair",
+            segment=inc,
+        ))
+    return FaultPlan(tuple(events))
+
+
+def parse_chaos_spec(spec: str, nodes: int, lanes: int,
+                     seed: int = 0) -> FaultPlan:
+    """Build a chaos plan from a compact spec string.
+
+    Four entry forms, composable with ``;`` (events are merged into one
+    plan); every entry may carry ``~GRACE`` to override the DYING → DEAD
+    window:
+
+    * ``storm:FRACTION@TIME+SPREAD[%REPAIR]`` — random ``FRACTION`` of
+      segments fail across ``[TIME, TIME+SPREAD]``, each repaired
+      ``REPAIR`` ticks after death (default 300);
+    * ``wave:LANE@TIME+STEP`` — lane ``LANE``'s outage sweeps the ring,
+      one segment per ``STEP`` ticks;
+    * ``flap:TARGETSxFLAPS@TIME+PERIOD`` — flapping segments, one
+      fail/repair pair per ``2*PERIOD`` ticks;
+    * ``incs:COUNT@TIME+HOLD`` — ``COUNT`` INCs out together for ``HOLD``
+      ticks.
+
+    Example: ``"storm:0.3@200+400;flap:2x4@100+24"``.  The same spec,
+    seed and geometry always produce the identical plan — chaos runs are
+    replayable from their command line alone.
+    """
+    events: List[FaultEvent] = []
+    rng = RandomStream(seed, name="chaos-spec")
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            head, _, when = chunk.partition("@")
+            kind, _, args = head.partition(":")
+            if not when:
+                raise FaultError(f"missing @TIME in {chunk!r}")
+            grace = DEFAULT_GRACE
+            if "~" in when:
+                when, _, grace_text = when.partition("~")
+                grace = float(grace_text)
+            time_text, _, span_text = when.partition("+")
+            at = float(time_text)
+            if kind == "storm":
+                spread_text, _, repair_text = span_text.partition("%")
+                plan = storm(
+                    nodes, lanes, rng, fraction=float(args),
+                    at=at,
+                    spread=float(spread_text) if spread_text else 400.0,
+                    grace=grace,
+                    repair_after=float(repair_text) if repair_text else 300.0,
+                )
+            elif kind == "wave":
+                plan = rolling_wave(
+                    nodes, lanes, rng, lane=int(args), at=at,
+                    step=float(span_text) if span_text else 32.0,
+                    grace=grace,
+                )
+            elif kind == "flap":
+                targets_text, _, flaps_text = args.partition("x")
+                plan = flapping(
+                    nodes, lanes, rng,
+                    targets=int(targets_text),
+                    flaps=int(flaps_text) if flaps_text else 4,
+                    at=at,
+                    period=float(span_text) if span_text
+                    else 2 * DEFAULT_GRACE,
+                    grace=grace,
+                )
+            elif kind == "incs":
+                plan = inc_outage(
+                    nodes, lanes, rng, count=int(args), at=at,
+                    hold=float(span_text) if span_text else 400.0,
+                    grace=grace,
+                )
+            else:
+                raise FaultError(f"unknown chaos kind {kind!r}")
+        except (ValueError, IndexError) as exc:
+            raise FaultError(
+                f"cannot parse chaos spec entry {chunk!r}: {exc}"
+            ) from exc
+        events.extend(plan.events)
+    plan = FaultPlan(tuple(events))
+    plan.validate(nodes, lanes)
+    return plan

@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's main entry points without writing
+The subcommands cover the library's main entry points without writing
 any code:
 
 * ``run`` — simulate traffic on one RMB ring and print statistics;
+* ``chaos`` — soak the ring under a seeded chaos schedule with invariant
+  monitors (and, by default, the recovery manager) armed;
 * ``race`` — route one permutation family across the comparison networks;
 * ``cost`` — print the Section 3.2 hardware cost table;
 * ``trace`` — render the compaction process frame by frame (Figures 2/3);
-* ``selfcheck`` — validate the protocol implementation in seconds.
+* ``selfcheck`` — validate the protocol implementation in seconds;
+* ``explore`` — bounded model checking of the protocol state machines.
 """
 
 from __future__ import annotations
@@ -64,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-retries", type=int, default=None,
                      help="per-message retry cap (default: unlimited; "
                           "8 when a fault plan is given)")
+    run.add_argument("--retry-delay", type=float, default=None,
+                     metavar="TICKS",
+                     help="backoff floor before the first retry "
+                          "(default: 16)")
+    run.add_argument("--retry-backoff", type=float, default=None,
+                     metavar="FACTOR",
+                     help="exponential backoff multiplier (default: 2)")
+    run.add_argument("--retry-jitter", type=float, default=None,
+                     metavar="FRACTION",
+                     help="uniform jitter fraction on each backoff delay "
+                          "(default: 0.5)")
+    run.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                     help="lifetime retry budget per source INC; once "
+                          "spent, further retries abandon (default: "
+                          "unlimited)")
+    run.add_argument("--recovery", action="store_true",
+                     help="arm the self-healing recovery manager: circuit "
+                          "breakers quarantine flapping segments, wedged "
+                          "buses are force-evacuated, fault storms tighten "
+                          "admission (degraded mode)")
     run.add_argument("--admission-limit", type=int, default=None,
                      metavar="N",
                      help="cap on outstanding requests per source INC")
@@ -123,6 +146,47 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="validate the protocol implementation on this machine",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="soak the ring under a seeded chaos schedule with invariant "
+             "monitors and recovery armed",
+    )
+    _add_geometry(chaos)
+    chaos.add_argument("--ticks", type=float, default=4000.0,
+                       help="traffic horizon in ticks (the run then drains)")
+    chaos.add_argument("--rate", type=float, default=0.02,
+                       help="per-node injection probability per tick")
+    chaos.add_argument("--flits", "-f", type=int, default=8,
+                       help="data flits per message")
+    chaos.add_argument("--spec", default="storm:0.3@500+2000",
+                       metavar="SPEC",
+                       help="chaos schedule: 'storm:FRAC@T+SPREAD[%%REP]', "
+                            "'wave:L@T+STEP', 'flap:NxF@T+PERIOD', "
+                            "'incs:N@T+HOLD', ';'-separated "
+                            "(default: %(default)s)")
+    chaos.add_argument("--no-recovery", action="store_true",
+                       help="soak with the recovery loop open (faults only)")
+    chaos.add_argument("--asynchronous", action="store_true",
+                       help="independent skewed INC clocks (arms the "
+                            "Lemma 1 skew monitor)")
+    chaos.add_argument("--monitor-period", type=float, default=50.0,
+                       help="ticks between invariant sweeps")
+    chaos.add_argument("--no-baseline", action="store_true",
+                       help="skip the healthy-twin run (no goodput "
+                            "retention figure)")
+    chaos.add_argument("--replay-check", action="store_true",
+                       help="run the scenario twice and require "
+                            "bit-identical outcomes (determinism gate)")
+    chaos.add_argument("--snapshot-on-violation", default=None,
+                       metavar="PATH",
+                       help="checkpoint the failing ring here if any "
+                            "invariant is violated")
+    chaos.add_argument("--export-plan", default=None, metavar="PATH",
+                       help="write the generated fault plan as JSON "
+                            "(replayable via run --fault-plan @PATH)")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the soak summary as JSON")
 
     explore = commands.add_parser(
         "explore",
@@ -184,9 +248,22 @@ def command_run(args: argparse.Namespace) -> int:
         # A permanently dead source column would otherwise retry forever
         # and the drain below would never terminate.
         max_retries = 8
+    from repro.core.config import RetryPolicy
+    from repro.errors import ConfigurationError
+    try:
+        retry = RetryPolicy(max_retries=max_retries).with_overrides(
+            **{key: value for key, value in (
+                ("delay", args.retry_delay),
+                ("backoff", args.retry_backoff),
+                ("jitter", args.retry_jitter),
+                ("node_budget", args.retry_budget),
+            ) if value is not None})
+    except ConfigurationError as exc:
+        print(f"bad retry policy: {exc}")
+        return 1
     config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
                        cycle_period=2.0,
-                       max_retries=max_retries,
+                       retry=retry,
                        admission_limit=args.admission_limit,
                        admission_policy=args.admission_policy,
                        check_level=args.check_level,
@@ -194,10 +271,18 @@ def command_run(args: argparse.Namespace) -> int:
     watchdog = None
     if args.watchdog:
         from repro.supervision import WatchdogConfig
-        watchdog = WatchdogConfig()
+        # The watchdog's storm knobs come from the unified retry policy
+        # (the policy defaults mirror the historical WatchdogConfig ones).
+        watchdog = WatchdogConfig(retry_threshold=retry.storm_threshold,
+                                  retry_storm_action=retry.storm_action)
+    recovery = None
+    if args.recovery:
+        from repro.resilience import RecoveryConfig
+        recovery = RecoveryConfig()
     obs = _build_obs(args)
     ring = RMBRing(config, seed=args.seed, probe_period=8.0,
-                   fault_plan=fault_plan, watchdog=watchdog, obs=obs)
+                   fault_plan=fault_plan, watchdog=watchdog,
+                   recovery=recovery, obs=obs)
     rng = RandomStream(args.seed, name="cli")
     duration = max(1, int(args.messages / (args.rate * args.nodes)))
     schedule = bernoulli_schedule(
@@ -283,6 +368,13 @@ def _report_run(ring: RMBRing, title: str,
         fault_rows.append({"metric": "min_windowed_throughput",
                            "value": round(stats.min_windowed_throughput(), 3)})
         print(render_table(fault_rows, title="degraded-mode accounting"))
+    recovery = getattr(ring, "recovery", None)  # absent in old snapshots
+    if recovery is not None:
+        recovery_rows = [{"metric": key, "value": value}
+                         for key, value in recovery.stats.summary().items()]
+        recovery_rows.append({"metric": "open_breakers",
+                              "value": recovery.open_breakers()})
+        print(render_table(recovery_rows, title="recovery actions"))
     if ring.watchdog is not None and len(ring.watchdog.incidents):
         print("\nwatchdog incidents:")
         print(ring.watchdog.incidents.render())
@@ -291,6 +383,57 @@ def _report_run(ring: RMBRing, title: str,
         with open(stats_json, "w", encoding="utf-8") as handle:
             json.dump(stats.summary(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+
+def command_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import SoakConfig, parse_chaos_spec, run_soak
+    from repro.errors import ConfigurationError, FaultError
+    from repro.resilience import RecoveryConfig
+    try:
+        soak = SoakConfig(
+            nodes=args.nodes,
+            lanes=args.lanes,
+            ticks=args.ticks,
+            rate=args.rate,
+            data_flits=args.flits,
+            seed=args.seed,
+            spec=args.spec,
+            recovery=None if args.no_recovery else RecoveryConfig(),
+            asynchronous=args.asynchronous,
+            monitor_period=args.monitor_period,
+        )
+        plan = parse_chaos_spec(args.spec, args.nodes, args.lanes,
+                                seed=args.seed)
+    except (ConfigurationError, FaultError) as exc:
+        print(f"bad chaos scenario: {exc}")
+        return 1
+    if args.export_plan:
+        with open(args.export_plan, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_json())
+            handle.write("\n")
+        print(f"fault plan ({len(plan)} events) -> {args.export_plan}")
+    result = run_soak(soak, healthy_baseline=not args.no_baseline,
+                      snapshot_path=args.snapshot_on_violation)
+    print(result.report())
+    failed = bool(result.violations) or result.pending != 0
+    if args.replay_check:
+        again = run_soak(soak, healthy_baseline=False)
+        if again.signature == result.signature:
+            print(f"replay determinism: OK "
+                  f"(signature {result.signature[:16]}…)")
+        else:
+            print(f"replay determinism FAILED: {result.signature[:16]}… "
+                  f"vs {again.signature[:16]}…")
+            failed = True
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if failed:
+        print("\nchaos soak FAILED")
+        return 1
+    return 0
 
 
 def command_race(args: argparse.Namespace) -> int:
@@ -508,6 +651,7 @@ def _explore_consistency(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "run": command_run,
+    "chaos": command_chaos,
     "race": command_race,
     "cost": command_cost,
     "trace": command_trace,

@@ -3,9 +3,97 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Every retry/timeout knob of one ring, in one validated place.
+
+    Before this class the knobs were scattered: the backoff floor,
+    multiplier and jitter lived as loose :class:`RMBConfig` scalars, the
+    header timeout next to them, and the watchdog's retry-storm response
+    in :class:`~repro.supervision.watchdog.WatchdogConfig`.  The policy
+    gathers them so a whole retry regime can be named, validated and
+    swapped as a unit; the legacy :class:`RMBConfig` kwargs remain as
+    deprecated aliases so existing configs and checkpoints keep loading.
+
+    Attributes:
+        delay: ticks a source waits after the first refusal before
+            re-requesting (the backoff floor; alias ``retry_delay``).
+        backoff: multiplier applied per extra refusal (1.0 = constant
+            retry interval; alias ``retry_backoff``).
+        jitter: fraction of the retry delay drawn uniformly at random
+            and added, to break symmetric retry livelock (alias
+            ``retry_jitter``).
+        max_retries: give up after this many refusals (``None`` = never;
+            alias ``max_retries``).
+        header_timeout: consecutive stalled ticks after which an
+            extending header gives up and retries (``None`` disables;
+            alias ``header_timeout``; design decision D8).
+        node_budget: cap on the *total* retries the messages of one
+            source node may accumulate in a run.  Once a node has spent
+            its budget, further refusals abandon the message instead of
+            re-arming a timer — the per-node fuse that keeps a dead
+            destination from monopolising a source's injection slots
+            during fault storms.  ``None`` (default) disables the fuse.
+        storm_threshold: retries since the last intervention before the
+            watchdog's ``retry_storm`` condition trips (mirrors
+            :class:`~repro.supervision.watchdog.WatchdogConfig.
+            retry_threshold`; consumed by the CLI when it builds the
+            watchdog for a run).
+        storm_action: what the watchdog does about a retry storm —
+            ``"reset_backoff"`` (forgive the exponential backoff) or
+            ``"report"`` (record only; the default, matching the
+            historical CLI behaviour).
+    """
+
+    delay: float = 16.0
+    backoff: float = 2.0
+    jitter: float = 0.5
+    max_retries: Optional[int] = None
+    header_timeout: Optional[float] = 128.0
+    node_budget: Optional[int] = None
+    storm_threshold: int = 8
+    storm_action: str = "report"
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ConfigurationError("retry_delay must be positive")
+        if self.backoff < 1.0:
+            raise ConfigurationError("retry_backoff must be >= 1.0")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0 or None")
+        if self.header_timeout is not None and self.header_timeout <= 0:
+            raise ConfigurationError("header_timeout must be positive or None")
+        if self.jitter < 0:
+            raise ConfigurationError("retry_jitter must be >= 0")
+        if self.node_budget is not None and self.node_budget < 0:
+            raise ConfigurationError(
+                "retry node_budget must be >= 0 or None")
+        if self.storm_threshold < 1:
+            raise ConfigurationError(
+                f"storm_threshold must be >= 1, got {self.storm_threshold}")
+        if self.storm_action not in ("reset_backoff", "report"):
+            raise ConfigurationError(
+                f"storm_action must be 'reset_backoff' or 'report', "
+                f"got {self.storm_action!r}")
+
+    def with_overrides(self, **changes: Any) -> "RetryPolicy":
+        """A copy with some fields replaced (validated again)."""
+        return replace(self, **changes)
+
+
+#: RMBConfig field -> RetryPolicy field for the deprecated flat aliases.
+_RETRY_ALIASES: dict[str, str] = {
+    "retry_delay": "delay",
+    "retry_backoff": "backoff",
+    "retry_jitter": "jitter",
+    "max_retries": "max_retries",
+    "header_timeout": "header_timeout",
+}
 
 
 @dataclass(frozen=True)
@@ -109,8 +197,29 @@ class RMBConfig:
     admission_limit: int | None = None
     admission_policy: str = "defer"
     check_level: str = "full"
+    # default_factory (not ``= None``) on purpose: a plain default would
+    # become a class attribute that shadows ``__getattr__``, breaking the
+    # old-checkpoint path below.
+    retry: Optional[RetryPolicy] = field(default_factory=lambda: None)
 
     def __post_init__(self) -> None:
+        # Retry-knob unification: ``retry`` (a RetryPolicy) is the
+        # authoritative home of every retry/timeout knob; the flat
+        # ``retry_delay`` / ``retry_backoff`` / ``retry_jitter`` /
+        # ``max_retries`` / ``header_timeout`` kwargs are deprecated
+        # aliases.  Given a policy, the aliases are backfilled from it so
+        # all existing readers stay correct; given only aliases (or
+        # nothing), the policy is derived from them — which also runs the
+        # policy's validation.
+        if self.retry is None:
+            object.__setattr__(self, "retry", RetryPolicy(**{
+                policy_field: getattr(self, config_field)
+                for config_field, policy_field in _RETRY_ALIASES.items()
+            }))
+        else:
+            for config_field, policy_field in _RETRY_ALIASES.items():
+                object.__setattr__(self, config_field,
+                                   getattr(self.retry, policy_field))
         if self.nodes < 4:
             raise ConfigurationError(
                 f"an RMB ring needs at least 4 nodes, got {self.nodes}"
@@ -126,20 +235,10 @@ class RMBConfig:
             raise ConfigurationError("flit_period must be positive")
         if self.cycle_period <= 0:
             raise ConfigurationError("cycle_period must be positive")
-        if self.retry_delay <= 0:
-            raise ConfigurationError("retry_delay must be positive")
-        if self.retry_backoff < 1.0:
-            raise ConfigurationError("retry_backoff must be >= 1.0")
-        if self.max_retries is not None and self.max_retries < 0:
-            raise ConfigurationError("max_retries must be >= 0 or None")
         if not 0.0 <= self.clock_drift < 0.5:
             raise ConfigurationError("clock_drift must be in [0, 0.5)")
         if not 0.0 <= self.clock_jitter_fraction < 0.5:
             raise ConfigurationError("clock_jitter_fraction must be in [0, 0.5)")
-        if self.header_timeout is not None and self.header_timeout <= 0:
-            raise ConfigurationError("header_timeout must be positive or None")
-        if self.retry_jitter < 0:
-            raise ConfigurationError("retry_jitter must be >= 0")
         if self.tx_ports < 1 or self.rx_ports < 1:
             raise ConfigurationError("tx_ports and rx_ports must be >= 1")
         if self.tx_ports > self.lanes:
@@ -165,8 +264,31 @@ class RMBConfig:
         """Index of the insertion lane, ``k - 1``."""
         return self.lanes - 1
 
+    def __getattr__(self, name: str) -> Any:
+        # Checkpoints written before the RetryPolicy unification restore
+        # an RMBConfig whose pickled state has no ``retry`` slot; derive
+        # the policy from the flat aliases that *are* present.  Only
+        # reached when normal attribute lookup fails.
+        if name == "retry":
+            policy = RetryPolicy(**{
+                policy_field: self.__dict__[config_field]
+                for config_field, policy_field in _RETRY_ALIASES.items()
+            })
+            object.__setattr__(self, "retry", policy)
+            return policy
+        raise AttributeError(name)
+
     def with_overrides(self, **changes: Any) -> "RMBConfig":
-        """A copy with some fields replaced (validated again)."""
+        """A copy with some fields replaced (validated again).
+
+        Overriding a deprecated retry alias (``retry_delay`` etc.)
+        without also passing ``retry`` rebuilds the policy from the new
+        alias values; passing ``retry`` makes the policy authoritative
+        and backfills the aliases from it.
+        """
+        if any(field_name in changes for field_name in _RETRY_ALIASES) \
+                and "retry" not in changes:
+            changes["retry"] = None
         return replace(self, **changes)
 
 

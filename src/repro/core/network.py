@@ -35,6 +35,7 @@ from repro.supervision.watchdog import Watchdog, WatchdogConfig
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> faults cycle
     from repro.faults.plan import FaultPlan
     from repro.obs.wiring import Observability
+    from repro.resilience.recovery import RecoveryConfig, RecoveryManager
 
 
 class RMBRing:
@@ -67,6 +68,13 @@ class RMBRing:
             WatchdogConfig`; when given, a no-progress watchdog is armed
             on the run's simulator and its incidents flow into
             :meth:`stats`.
+        recovery: optional :class:`~repro.resilience.recovery.
+            RecoveryConfig`; when given, a
+            :class:`~repro.resilience.recovery.RecoveryManager` is armed —
+            circuit breakers quarantine flapping segments, wedged buses
+            are force-evacuated, and fault storms tighten admission
+            (degraded mode).  Off by default: without it, results are
+            bit-identical to the pre-recovery tree.
         name: label prefix for trace subjects and clock names.
     """
 
@@ -81,6 +89,7 @@ class RMBRing:
         probe_period: Optional[float] = None,
         fault_plan: Optional["FaultPlan"] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        recovery: Optional["RecoveryConfig"] = None,
         obs: Optional["Observability"] = None,
         name: str = "rmb",
     ) -> None:
@@ -167,6 +176,22 @@ class RMBRing:
                 controllers=self.controllers, name=f"{name}.watchdog",
                 obs=obs,
             )
+        self.recovery: Optional["RecoveryManager"] = None
+        if recovery is not None:
+            from repro.resilience.recovery import RecoveryManager
+            self.recovery = RecoveryManager(
+                self.sim,
+                self.grid,
+                self.routing,
+                config=recovery,
+                compaction=self.compaction,
+                monitor=self.monitor,
+                watchdog=self.watchdog,
+                faults=self.faults,
+                trace=self.trace,
+                obs=obs,
+                name=f"{name}.recovery",
+            )
         if obs is not None:
             # Pull collectors run only at export/report time (zero
             # run-time cost), so they are registered even at level "off" —
@@ -183,6 +208,10 @@ class RMBRing:
                 RingStateCollector(self.routing, self.grid, registry))
             registry.register_collector(
                 CompactionCollector(self.compaction, registry))
+            if self.recovery is not None:
+                from repro.resilience.recovery import RecoveryCollector
+                registry.register_collector(
+                    RecoveryCollector(self.recovery, registry))
 
     def _build_cycle_machinery(self) -> None:
         config = self.config

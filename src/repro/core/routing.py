@@ -166,6 +166,9 @@ class RoutingEngine:
         self._deferred: list[Deque[Message]] = [deque()
                                                 for _ in range(config.nodes)]
         self._awaiting_retry_by_node = [0] * config.nodes
+        # Per-node lifetime retry totals, charged against the retry
+        # policy's node_budget (None = unlimited, the historical rule).
+        self._node_retry_totals = [0] * config.nodes
         # Receive-port reservations per live bus: the nodes (taps plus the
         # final destination) whose RX port this bus currently holds.
         self._rx_holders: dict[int, set[int]] = {}
@@ -191,6 +194,7 @@ class RoutingEngine:
         self.fault_nacked = 0
         self.fault_killed = 0
         self.shed = 0
+        self.budget_abandoned = 0
         self.forced_teardowns = 0
         self.flits_delivered = 0
         self._awaiting_retry = 0
@@ -235,6 +239,11 @@ class RoutingEngine:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        if "_node_retry_totals" not in self.__dict__:
+            # Checkpoint from before per-node retry budgets existed.
+            self._node_retry_totals = [0] * self.config.nodes
+        if "budget_abandoned" not in self.__dict__:
+            self.budget_abandoned = 0
         self._dispatch = self._build_dispatch()
 
     def _fire(self, message: Message, event: LifecycleEvent,
@@ -502,6 +511,29 @@ class RoutingEngine:
                 if self._obs_on:
                     self._spans.event(message.message_id, self._now(),
                                       "admit_deferred")
+
+    def flush_deferred(self) -> int:
+        """Release every deferred request unconditionally; returns the count.
+
+        The admission queues are only drained by :meth:`_release_deferred`
+        while a cap is configured — with the cap removed (e.g. degraded
+        mode restoring an unlimited configuration) anything still parked
+        would wait forever.  The recovery manager calls this on degraded
+        exit.
+        """
+        released = 0
+        for node in range(self.config.nodes):
+            held = self._deferred[node]
+            while held:
+                message = held.popleft()
+                self.admission.note_released()
+                self._fire(message, LifecycleEvent.ADMIT_DEFERRED)
+                self._record("admit_deferred", message, node=node)
+                if self._obs_on:
+                    self._spans.event(message.message_id, self._now(),
+                                      "admit_deferred")
+                released += 1
+        return released
 
     def _insertion_lane(self, node: int) -> Optional[int]:
         """Lane new requests enter on at ``node``: the highest healthy lane.
@@ -964,7 +996,19 @@ class RoutingEngine:
     def _fx_classify_retry(self, message: Message, record: MessageRecord,
                            bus: Optional[VirtualBus], ctx: FireContext,
                            effect: Effect) -> None:
-        self._fire(message, retry_decision(record, self.config.max_retries))
+        decision = retry_decision(record, self.config.max_retries)
+        if decision is LifecycleEvent.RETRY_ARMED:
+            # The retry policy's node budget is a second, node-wide bound:
+            # once a source INC's lifetime retry total is spent, further
+            # would-be retries abandon even below per-message max_retries.
+            budget = self.config.retry.node_budget
+            if budget is not None and \
+                    self._node_retry_totals[message.source] >= budget:
+                self.budget_abandoned += 1
+                self._record("budget_exhausted", message,
+                             node=message.source, budget=budget)
+                decision = LifecycleEvent.ABANDON
+        self._fire(message, decision)
 
     def _fx_arm_retry_timer(self, message: Message, record: MessageRecord,
                             bus: Optional[VirtualBus], ctx: FireContext,
@@ -981,6 +1025,7 @@ class RoutingEngine:
             delay += self._rng.uniform(0, self.config.retry_jitter * delay)
         self._awaiting_retry += 1
         self._awaiting_retry_by_node[message.source] += 1
+        self._node_retry_totals[message.source] += 1
         if self._obs_on:
             self._spans.event(message.message_id, self._now(), "retry",
                               attempt=record.retries, delay=delay)

@@ -109,6 +109,26 @@ class FaultManager:
         self.stats = FaultStats()
         self._epoch: dict[tuple[int, int], int] = {}
         self._armed = False
+        # Transition listeners (e.g. the recovery manager's breakers):
+        # plain objects with on_fault_transition(kind, segment, lane),
+        # notified after each applied health arc.  Plain instances only —
+        # the list rides checkpoint pickles with the rest of the manager.
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener.on_fault_transition(kind, segment, lane)``.
+
+        ``kind`` is ``"dying"``, ``"dead"`` or ``"repair"`` — fired once
+        per *applied* transition (announcements that lose to first-wins
+        or stale epoch rules are not reported).
+        """
+        if not hasattr(self, "_listeners"):  # checkpoint from before PR 7
+            self._listeners = []
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, segment: int, lane: int) -> None:
+        for listener in getattr(self, "_listeners", ()):
+            listener.on_fault_transition(kind, segment, lane)
 
     # ------------------------------------------------------------------
     # Arming
@@ -153,6 +173,7 @@ class FaultManager:
             epoch = self._bump_epoch(segment, lane)
             self._record("fault_dying", f"segment=({segment}, {lane})",
                          grace=event.grace)
+            self._notify("dying", segment, lane)
             if event.grace <= 0:
                 self._kill(segment, lane, epoch)
             else:
@@ -173,8 +194,10 @@ class FaultManager:
 
         applied, occupant = kill_target(self.grid, self.routing, segment,
                                         lane, on_dead=note_dead)
-        if applied and occupant is not None:
-            self.stats.buses_killed += 1
+        if applied:
+            if occupant is not None:
+                self.stats.buses_killed += 1
+            self._notify("dead", segment, lane)
 
     def _repair(self, event: FaultEvent) -> None:
         if event.kind is FaultKind.INC and self.compaction is not None:
@@ -193,6 +216,10 @@ class FaultManager:
             self.stats.segments_repaired += 1
             self._bump_epoch(segment, lane)
             self._record("fault_repair", f"segment=({segment}, {lane})")
+            # Notified after the epoch bump: a listener that re-fails the
+            # target (quarantine hold) cannot be preempted by a stale
+            # scheduled kill, and its DYING mark has no kill of its own.
+            self._notify("repair", segment, lane)
         if self.monitor is not None:
             # Evacuations may have moved hops upward while the fault stood;
             # re-arm the downward-only tracker from the current placement.

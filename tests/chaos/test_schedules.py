@@ -1,0 +1,154 @@
+"""Chaos-schedule generators: shape, determinism, and the spec grammar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    flapping,
+    inc_outage,
+    parse_chaos_spec,
+    rolling_wave,
+    storm,
+)
+from repro.errors import FaultError
+from repro.faults import FaultKind
+from repro.sim import RandomStream
+
+NODES, LANES = 8, 3
+
+
+def rng(seed=11):
+    return RandomStream(seed, name="chaos-test")
+
+
+class TestGenerators:
+    def test_storm_shape(self):
+        plan = storm(NODES, LANES, rng(), fraction=0.25, at=100.0,
+                     spread=50.0, repair_after=200.0)
+        fails = [e for e in plan.events if e.action == "fail"]
+        repairs = [e for e in plan.events if e.action == "repair"]
+        assert len(fails) == round(0.25 * NODES * LANES)
+        assert len(repairs) == len(fails)
+        assert all(100.0 <= e.time <= 150.0 for e in fails)
+        plan.validate(NODES, LANES)
+
+    def test_rolling_wave_sweeps_every_segment_once(self):
+        plan = rolling_wave(NODES, LANES, rng(), lane=1, at=50.0,
+                            step=10.0, grace=8.0, width=2)
+        fails = sorted((e.segment, e.time) for e in plan.events
+                       if e.action == "fail")
+        assert [segment for segment, _ in fails] == list(range(NODES))
+        # The front advances one segment per step...
+        times = [time for _, time in fails]
+        assert times == [50.0 + 10.0 * i for i in range(NODES)]
+        # ...and each repair trails the front by width * step past death.
+        for event in plan.events:
+            if event.action == "repair":
+                assert event.time == 50.0 + 10.0 * event.segment \
+                    + 8.0 + 2 * 10.0
+        assert all(e.lane == 1 for e in plan.events)
+
+    def test_flapping_alternates_fail_repair(self):
+        plan = flapping(NODES, LANES, rng(), targets=2, flaps=3,
+                        at=20.0, period=16.0, grace=16.0)
+        assert len(plan.events) == 2 * 3 * 2
+        by_target = {}
+        for event in plan.events:
+            by_target.setdefault((event.segment, event.lane),
+                                 []).append(event)
+        assert len(by_target) == 2
+        for events in by_target.values():
+            ordered = sorted(events, key=lambda e: e.time)
+            actions = [e.action for e in ordered]
+            assert actions == ["fail", "repair"] * 3
+
+    def test_inc_outage_is_correlated(self):
+        plan = inc_outage(NODES, LANES, rng(), count=3, at=100.0,
+                          hold=50.0)
+        fails = [e for e in plan.events if e.action == "fail"]
+        repairs = [e for e in plan.events if e.action == "repair"]
+        assert len(fails) == len(repairs) == 3
+        assert all(e.kind is FaultKind.INC for e in plan.events)
+        assert {e.time for e in fails} == {100.0}
+        assert {e.time for e in repairs} == {150.0}
+        assert len({e.segment for e in fails}) == 3
+
+    def test_same_stream_state_same_plan(self):
+        one = storm(NODES, LANES, rng(5), fraction=0.3, at=10.0,
+                    spread=100.0)
+        two = storm(NODES, LANES, rng(5), fraction=0.3, at=10.0,
+                    spread=100.0)
+        assert one.events == two.events
+        three = storm(NODES, LANES, rng(6), fraction=0.3, at=10.0,
+                      spread=100.0)
+        assert one.events != three.events
+
+    @pytest.mark.parametrize("call", [
+        lambda: rolling_wave(NODES, LANES, rng(), lane=LANES),
+        lambda: rolling_wave(NODES, LANES, rng(), step=0.0),
+        lambda: rolling_wave(NODES, LANES, rng(), width=0),
+        lambda: flapping(NODES, LANES, rng(), targets=0),
+        lambda: flapping(NODES, LANES, rng(), flaps=0),
+        lambda: flapping(NODES, LANES, rng(), period=0.0),
+        lambda: inc_outage(NODES, LANES, rng(), count=0),
+        lambda: inc_outage(NODES, LANES, rng(), count=NODES + 1),
+        lambda: inc_outage(NODES, LANES, rng(), hold=0.0),
+    ])
+    def test_invalid_parameters_rejected(self, call):
+        with pytest.raises(FaultError):
+            call()
+
+
+class TestSpecGrammar:
+    def test_storm_spec(self):
+        plan = parse_chaos_spec("storm:0.25@100+50%200", NODES, LANES,
+                                seed=1)
+        fails = [e for e in plan.events if e.action == "fail"]
+        assert len(fails) == round(0.25 * NODES * LANES)
+        assert all(100.0 <= e.time <= 150.0 for e in fails)
+
+    def test_wave_spec_with_grace(self):
+        plan = parse_chaos_spec("wave:1@50+10~4", NODES, LANES)
+        fails = [e for e in plan.events if e.action == "fail"]
+        assert len(fails) == NODES
+        assert all(e.grace == 4.0 and e.lane == 1 for e in fails)
+
+    def test_flap_spec(self):
+        plan = parse_chaos_spec("flap:2x3@100+24", NODES, LANES, seed=2)
+        assert len(plan.events) == 2 * 3 * 2
+
+    def test_incs_spec(self):
+        plan = parse_chaos_spec("incs:2@100+300", NODES, LANES, seed=3)
+        assert sum(1 for e in plan.events
+                   if e.kind is FaultKind.INC and e.action == "fail") == 2
+
+    def test_composition_merges_events(self):
+        solo = parse_chaos_spec("incs:1@100+300", NODES, LANES, seed=4)
+        both = parse_chaos_spec("incs:1@100+300;wave:0@500+16", NODES,
+                                LANES, seed=4)
+        assert len(both.events) == len(solo.events) + 2 * NODES
+
+    def test_spec_is_deterministic_per_seed(self):
+        spec = "storm:0.3@200+400;flap:2x4@100+24"
+        one = parse_chaos_spec(spec, NODES, LANES, seed=9)
+        two = parse_chaos_spec(spec, NODES, LANES, seed=9)
+        other = parse_chaos_spec(spec, NODES, LANES, seed=10)
+        assert one.events == two.events
+        assert one.events != other.events
+
+    @pytest.mark.parametrize("spec", [
+        "storm:0.3",                 # no @TIME
+        "storm:bogus@100+50",        # bad fraction
+        "tsunami:0.3@100+50",        # unknown kind
+        "wave:9@100+10",             # lane outside geometry
+        "flap:0x4@100+24",           # zero targets
+        "incs:0@100+300",            # zero INCs
+    ])
+    def test_bad_specs_raise_fault_error(self, spec):
+        with pytest.raises(FaultError):
+            parse_chaos_spec(spec, NODES, LANES)
+
+    def test_empty_chunks_ignored(self):
+        plan = parse_chaos_spec("incs:1@100+300; ;", NODES, LANES)
+        assert len(plan.events) == 2

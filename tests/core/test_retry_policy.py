@@ -1,0 +1,159 @@
+"""RetryPolicy unification: validation, aliases, budgets, compatibility."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import Message, RMBConfig, RMBRing
+from repro.core.config import RetryPolicy
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"delay": 0.0},
+        {"backoff": 0.9},
+        {"jitter": -0.1},
+        {"max_retries": -1},
+        {"header_timeout": 0.0},
+        {"node_budget": -1},
+        {"storm_threshold": 0},
+        {"storm_action": "panic"},
+    ])
+    def test_invalid_policies_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**overrides)
+
+    def test_defaults_match_legacy_config_defaults(self):
+        """The policy's defaults mirror the historical flat RMBConfig
+        knobs and the watchdog's storm response — so rings built either
+        way behave identically (the baseline-preservation contract)."""
+        policy = RetryPolicy()
+        config = RMBConfig(nodes=8, lanes=3)
+        assert policy.delay == config.retry_delay == 16.0
+        assert policy.backoff == config.retry_backoff == 2.0
+        assert policy.jitter == config.retry_jitter == 0.5
+        assert policy.max_retries is None
+        assert policy.header_timeout == 128.0
+        assert policy.node_budget is None
+        from repro.supervision import WatchdogConfig
+        watchdog = WatchdogConfig()
+        assert policy.storm_threshold == watchdog.retry_threshold
+        assert policy.storm_action == watchdog.retry_storm_action
+
+    def test_with_overrides_revalidates(self):
+        policy = RetryPolicy()
+        assert policy.with_overrides(delay=4.0).delay == 4.0
+        with pytest.raises(ConfigurationError):
+            policy.with_overrides(backoff=0.0)
+
+
+class TestAliases:
+    def test_flat_aliases_build_the_policy(self):
+        config = RMBConfig(nodes=8, lanes=3, retry_delay=8.0,
+                           retry_backoff=1.5, retry_jitter=0.0,
+                           max_retries=4, header_timeout=64.0)
+        assert config.retry == RetryPolicy(
+            delay=8.0, backoff=1.5, jitter=0.0, max_retries=4,
+            header_timeout=64.0)
+
+    def test_policy_backfills_the_aliases(self):
+        policy = RetryPolicy(delay=8.0, backoff=3.0, jitter=0.25,
+                             max_retries=2, header_timeout=None)
+        config = RMBConfig(nodes=8, lanes=3, retry=policy)
+        assert config.retry_delay == 8.0
+        assert config.retry_backoff == 3.0
+        assert config.retry_jitter == 0.25
+        assert config.max_retries == 2
+        assert config.header_timeout is None
+
+    def test_alias_validation_runs_through_the_policy(self):
+        with pytest.raises(ConfigurationError):
+            RMBConfig(nodes=8, lanes=3, retry_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            RMBConfig(nodes=8, lanes=3, retry_backoff=0.5)
+
+    def test_with_overrides_on_alias_rebuilds_policy(self):
+        config = RMBConfig(nodes=8, lanes=3)
+        changed = config.with_overrides(retry_delay=4.0)
+        assert changed.retry.delay == 4.0
+        assert changed.retry_delay == 4.0
+
+    def test_with_overrides_on_policy_is_authoritative(self):
+        config = RMBConfig(nodes=8, lanes=3, retry_delay=8.0)
+        changed = config.with_overrides(
+            retry=RetryPolicy(delay=2.0, jitter=0.0))
+        assert changed.retry_delay == 2.0
+        assert changed.retry_jitter == 0.0
+
+    def test_old_checkpoint_state_derives_policy_lazily(self):
+        """An RMBConfig unpickled from before the unification has only
+        the flat aliases; ``config.retry`` must synthesise the policy."""
+        config = RMBConfig(nodes=8, lanes=3, retry_delay=8.0,
+                           max_retries=3)
+        state = dict(config.__dict__)
+        del state["retry"]                       # pre-unification pickle
+        old = object.__new__(RMBConfig)
+        old.__dict__.update(state)
+        policy = old.retry
+        assert policy.delay == 8.0
+        assert policy.max_retries == 3
+        # ...and the derived policy is cached on first access.
+        assert old.retry is policy
+
+    def test_policy_survives_pickling(self):
+        config = RMBConfig(nodes=8, lanes=3,
+                           retry=RetryPolicy(delay=8.0, node_budget=5))
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.retry == config.retry
+        assert clone.retry_delay == 8.0
+
+
+class TestNodeBudget:
+    @staticmethod
+    def walled_ring(node_budget):
+        """A 1-lane ring with its lone lane walled off: every request
+        bounces, so retries accumulate fast and deterministically."""
+        policy = RetryPolicy(delay=4.0, jitter=0.0, max_retries=50,
+                             node_budget=node_budget)
+        config = RMBConfig(nodes=8, lanes=1, compaction_enabled=False,
+                           retry=policy)
+        ring = RMBRing(config, seed=1, check_invariants=False,
+                       trace_kinds=set())
+        ring.grid.claim(1, 0, 900)
+        return ring
+
+    def test_budget_exhaustion_abandons_instead_of_retrying(self):
+        ring = self.walled_ring(node_budget=6)
+        records = ring.submit_all(
+            Message(i, 0, 2, data_flits=2) for i in range(3))
+        ring.drain()
+        assert ring.routing.budget_abandoned >= 1
+        assert all(record.abandoned for record in records)
+        # The fuse is a *node* budget: total retries across node 0's
+        # messages stay at the cap instead of 3 * max_retries.
+        total_retries = sum(record.retries for record in records)
+        assert total_retries == 6
+
+    def test_no_budget_means_no_budget_abandons(self):
+        ring = self.walled_ring(node_budget=None)
+        ring.submit(Message(0, 0, 2, data_flits=2))
+        ring.run(400)
+        assert ring.routing.budget_abandoned == 0
+
+    def test_budget_is_per_node(self):
+        ring = self.walled_ring(node_budget=4)
+        mine = ring.submit(Message(0, 0, 2, data_flits=2))
+        ring.drain()
+        assert mine.abandoned
+        assert mine.retries == 4
+        # Node 3's budget is untouched: behind a wall of its own, its
+        # message spends node 3's full budget — node 0's exhaustion does
+        # not pre-abandon it.
+        ring.grid.claim(4, 0, 901)
+        theirs = ring.submit(Message(1, 3, 5, data_flits=2))
+        ring.drain()
+        assert theirs.abandoned
+        assert theirs.retries == 4

@@ -1,0 +1,135 @@
+"""Unit tests for the circuit-breaker state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+def make(**overrides) -> CircuitBreaker:
+    defaults = dict(failure_threshold=3, window=100.0, open_ticks=50.0,
+                    probe_ticks=40.0, backoff=2.0, max_open_ticks=400.0)
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults))
+
+
+class TestClosedState:
+    def test_starts_closed(self):
+        assert make().state == BREAKER_CLOSED
+
+    def test_below_threshold_stays_closed(self):
+        breaker = make()
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(10.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_threshold_trips(self):
+        breaker = make()
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        assert breaker.record_failure(20.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+
+    def test_window_prunes_old_failures(self):
+        breaker = make(window=50.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(10.0)
+        # Both earlier failures have left the window by t=100.
+        assert not breaker.record_failure(100.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_threshold_one_trips_immediately(self):
+        breaker = make(failure_threshold=1)
+        assert breaker.record_failure(5.0)
+        assert breaker.state == BREAKER_OPEN
+
+
+class TestOpenState:
+    def test_failures_absorbed_while_open(self):
+        breaker = make(failure_threshold=1)
+        breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+
+    def test_quarantine_expiry(self):
+        breaker = make(failure_threshold=1, open_ticks=50.0)
+        breaker.record_failure(0.0)
+        assert not breaker.quarantine_expired(49.0)
+        assert breaker.quarantine_expired(50.0)
+
+    def test_probation_transition(self):
+        breaker = make(failure_threshold=1)
+        breaker.record_failure(0.0)
+        breaker.begin_probation(50.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.probation_expired(89.0)
+        assert breaker.probation_expired(90.0)  # probe_ticks=40
+
+
+class TestHalfOpenState:
+    def test_quiet_probation_closes_and_forgives(self):
+        breaker = make(failure_threshold=1)
+        breaker.record_failure(0.0)
+        breaker.begin_probation(50.0)
+        breaker.close()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.failures == []
+        assert breaker.current_open_ticks == 50.0
+
+    def test_probation_failure_reopens_with_backoff(self):
+        breaker = make(failure_threshold=1, open_ticks=50.0, backoff=2.0)
+        breaker.record_failure(0.0)
+        breaker.begin_probation(50.0)
+        assert breaker.record_failure(60.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.current_open_ticks == 100.0
+        assert breaker.trips == 2
+        # Quarantine now runs for the doubled window.
+        assert not breaker.quarantine_expired(60.0 + 99.0)
+        assert breaker.quarantine_expired(60.0 + 100.0)
+
+    def test_backoff_caps_at_max_open_ticks(self):
+        breaker = make(failure_threshold=1, open_ticks=50.0, backoff=4.0,
+                       max_open_ticks=150.0)
+        breaker.record_failure(0.0)
+        for round_start in (50.0, 300.0, 600.0):
+            breaker.begin_probation(round_start)
+            breaker.record_failure(round_start + 1.0)
+        assert breaker.current_open_ticks == 150.0
+
+    def test_close_resets_backoff(self):
+        breaker = make(failure_threshold=1, open_ticks=50.0)
+        breaker.record_failure(0.0)
+        breaker.begin_probation(50.0)
+        breaker.record_failure(51.0)          # reopen, now 100 ticks
+        breaker.begin_probation(151.0)
+        breaker.close()
+        assert breaker.current_open_ticks == 50.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"failure_threshold": 0},
+        {"window": 0.0},
+        {"open_ticks": -1.0},
+        {"probe_ticks": 0.0},
+        {"backoff": 0.5},
+        {"max_open_ticks": 10.0, "open_ticks": 50.0},
+    ])
+    def test_invalid_configs_rejected(self, overrides):
+        fields = dict(failure_threshold=3, window=100.0, open_ticks=50.0,
+                      probe_ticks=40.0, backoff=2.0, max_open_ticks=400.0)
+        fields.update(overrides)
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(**fields)
+
+    def test_defaults_valid(self):
+        BreakerConfig()
