@@ -13,13 +13,23 @@ reported:
 On trees that predate ``check_level`` both rows run with full checks,
 which is exactly the pre-PR baseline configuration.
 
-Emits ``BENCH_end2end.json``.  Run directly::
+With ``--backend batch`` the same workload replays through the
+vectorized batch backend (``repro.batch``) instead of the event heap.
+The work numerator stays backend-comparable: the batch engine reports
+``equivalent_events("sampled")`` — the heap events an event-backend
+twin executes to reach the same simulated time — so the two ops/sec
+figures divide the identical job by each backend's wall time.
+
+Emits ``BENCH_end2end.json`` (event) or ``BENCH_batch.json`` (batch).
+Run directly::
 
     PYTHONPATH=src python benchmarks/perf/bench_end2end.py
+    PYTHONPATH=src python benchmarks/perf/bench_end2end.py --backend batch
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
@@ -73,6 +83,23 @@ def _run_ring(check_level: str) -> int:
     return events()
 
 
+def _run_batch() -> int:
+    from repro.batch import BatchRing, replay_on_batch
+
+    config = RMBConfig(nodes=NODES, lanes=LANES, cycle_period=2.0)
+    ring = BatchRing(config, seed=SEED, probe_period=16.0)
+    rng = RandomStream(SEED, name="perf")
+    schedule = bernoulli_schedule(NODES, DURATION, RATE, FLITS, rng)
+    replay_on_batch(ring, schedule)
+    ring.run(DURATION)
+    ring.drain(max_ticks=2_000_000)
+    stats = ring.stats()
+    _LAST["messages"] = float(stats.completed)
+    _LAST["flits"] = float(stats.flits_delivered)
+    _LAST["sim_ticks"] = float(ring.now)
+    return ring.equivalent_events("sampled")
+
+
 def load_sweep() -> int:
     return _run_ring("sampled")
 
@@ -81,19 +108,42 @@ def load_sweep_full_checks() -> int:
     return _run_ring("full")
 
 
-def main() -> None:
+def batch_load_sweep() -> int:
+    return _run_batch()
+
+
+def _scenario_block() -> dict[str, float]:
+    return {
+        "nodes": NODES, "lanes": LANES, "flits": FLITS,
+        "duration_ticks": DURATION, "rate": RATE, "seed": SEED,
+        "messages_completed": _LAST.get("messages", 0.0),
+        "flits_delivered": _LAST.get("flits", 0.0),
+        "sim_ticks": _LAST.get("sim_ticks", 0.0),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("event", "batch"),
+                        default="event",
+                        help="which execution engine to benchmark")
+    args = parser.parse_args(argv)
+    if args.backend == "batch":
+        results = {"load_sweep": time_scenario(batch_load_sweep)}
+        emit("batch", results, extra={
+            "scenario": _scenario_block(),
+            "metric_note": (
+                "ops_per_sec is event-backend-equivalent kernel events "
+                "per wall second (same workload as end2end/load_sweep; "
+                "work = BatchRing.equivalent_events('sampled'))"),
+        })
+        return
     results = {
         "load_sweep": time_scenario(load_sweep),
         "load_sweep_full_checks": time_scenario(load_sweep_full_checks),
     }
     emit("end2end", results, extra={
-        "scenario": {
-            "nodes": NODES, "lanes": LANES, "flits": FLITS,
-            "duration_ticks": DURATION, "rate": RATE, "seed": SEED,
-            "messages_completed": _LAST.get("messages", 0.0),
-            "flits_delivered": _LAST.get("flits", 0.0),
-            "sim_ticks": _LAST.get("sim_ticks", 0.0),
-        },
+        "scenario": _scenario_block(),
         "metric_note": "ops_per_sec is kernel events per wall second",
     })
 

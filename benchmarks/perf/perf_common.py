@@ -35,13 +35,35 @@ REPEATS = int(os.environ.get("PERF_REPEATS", "3"))
 
 def environment() -> dict[str, Any]:
     """The facts needed to interpret (and compare) the numbers."""
-    return {
+    env: dict[str, Any] = {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
         "cpus": os.cpu_count(),
     }
+    env["numpy"] = _numpy_info()
+    return env
+
+
+def _numpy_info() -> dict[str, Any] | None:
+    """numpy version plus the BLAS it links — batch-backend numbers are
+    meaningless without them.  ``None`` on trees without numpy."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a core dep
+        return None
+    info: dict[str, Any] = {"version": numpy.__version__}
+    try:
+        config = numpy.__config__.CONFIG  # numpy >= 1.26 dict API
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        info["blas"] = {
+            "name": blas.get("name", "unknown"),
+            "found": blas.get("found", False),
+        }
+    except AttributeError:  # pragma: no cover - older numpy
+        info["blas"] = {"name": "unknown", "found": False}
+    return info
 
 
 def time_scenario(fn: Callable[[], int], repeats: int = 0) -> dict[str, float]:

@@ -1,7 +1,8 @@
-"""Run the whole perf suite: kernel, compaction, end-to-end, obs, resilience.
+"""Run the whole perf suite: kernel, compaction, end-to-end (both
+backends), obs, resilience.
 
 Each bench runs in a fresh interpreter so one layer's warm caches and
-allocator state cannot leak into another's numbers.  Emits the three
+allocator state cannot leak into another's numbers.  Emits the
 ``BENCH_*.json`` files (to ``PERF_OUT_DIR`` or the repo root) and exits
 non-zero if any bench fails to run.
 
@@ -21,17 +22,27 @@ import subprocess
 import sys
 
 HERE = pathlib.Path(__file__).resolve().parent
-BENCHES = ("bench_kernel.py", "bench_compaction.py", "bench_end2end.py",
-           "bench_obs_overhead.py", "bench_fault_storm.py")
+#: (script, extra argv) pairs; the end-to-end bench runs twice, once
+#: per execution backend (event heap vs vectorized batch).
+BENCHES = (
+    ("bench_kernel.py", ()),
+    ("bench_compaction.py", ()),
+    ("bench_end2end.py", ()),
+    ("bench_end2end.py", ("--backend", "batch")),
+    ("bench_obs_overhead.py", ()),
+    ("bench_fault_storm.py", ()),
+)
 
 
 def main() -> int:
     failed = []
-    for bench in BENCHES:
-        print(f"--- {bench}", flush=True)
-        result = subprocess.run([sys.executable, str(HERE / bench)])
+    for bench, extra in BENCHES:
+        label = " ".join((bench,) + extra)
+        print(f"--- {label}", flush=True)
+        result = subprocess.run(
+            [sys.executable, str(HERE / bench), *extra])
         if result.returncode != 0:
-            failed.append(bench)
+            failed.append(label)
     if failed:
         print(f"FAILED: {', '.join(failed)}")
         return 1

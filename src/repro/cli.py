@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser(
         "run", help="simulate random traffic on an RMB ring")
     _add_geometry(run)
+    run.add_argument("--backend", choices=("event", "batch"),
+                     default="event",
+                     help="execution engine: the event heap (default) or "
+                          "the vectorized numpy batch backend — "
+                          "bit-identical results on the subset it models "
+                          "(synchronous rings, static faults), much "
+                          "faster at scale")
     run.add_argument("--messages", "-m", type=int, default=64,
                      help="number of messages")
     run.add_argument("--flits", "-f", type=int, default=16,
@@ -261,6 +268,8 @@ def command_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"bad retry policy: {exc}")
         return 1
+    if args.backend == "batch":
+        return _command_run_batch(args, retry)
     config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
                        cycle_period=2.0,
                        retry=retry,
@@ -311,6 +320,59 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run_batch(args: argparse.Namespace, retry) -> int:
+    """``run --backend batch``: the same workload through repro.batch.
+
+    The batch backend models the synchronous, statically-faulted subset
+    of the protocol; flags that need the event kernel's machinery are
+    rejected up front with the flag name rather than surfacing as a
+    deep :class:`BatchUnsupported`.  ``--check-level`` is accepted but
+    moot: the batch backend has no runtime invariant monitor — its
+    conformance guarantee is the differential suite in ``tests/batch``
+    (results are identical at all monitor levels on the event backend).
+    """
+    from repro.batch import BatchRing, replay_on_batch
+    from repro.batch.engine import BatchUnsupported
+    needs_event = [
+        ("--asynchronous", args.asynchronous),
+        ("--fault-plan", args.fault_plan is not None),
+        ("--recovery", args.recovery),
+        ("--watchdog", args.watchdog),
+        ("--admission-limit", args.admission_limit is not None),
+        ("--checkpoint-every", args.checkpoint_every is not None),
+        ("--obs-level", args.obs_level != "off"),
+        ("--metrics-out", args.metrics_out is not None),
+        ("--spans-out", args.spans_out is not None),
+    ]
+    flagged = [flag for flag, used in needs_event if used]
+    if flagged:
+        print(f"--backend batch does not support {', '.join(flagged)}; "
+              f"use the default event backend")
+        return 1
+    config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
+                       cycle_period=2.0, retry=retry)
+    try:
+        ring = BatchRing(config, seed=args.seed, probe_period=8.0)
+    except BatchUnsupported as exc:
+        print(f"--backend batch: {exc}")
+        return 1
+    rng = RandomStream(args.seed, name="cli")
+    duration = max(1, int(args.messages / (args.rate * args.nodes)))
+    schedule = bernoulli_schedule(
+        args.nodes, duration, args.rate, args.flits, rng)
+    if len(schedule) == 0:
+        print("the requested rate produced no messages; raise --rate "
+              "or --messages")
+        return 1
+    replay_on_batch(ring, schedule)
+    title = (f"RMB N={args.nodes} k={args.lanes} (synchronous, batch), "
+             f"{len(schedule)} messages @ rate {args.rate}")
+    ring.run(schedule.horizon() + 1)
+    ring.drain()
+    _report_run(ring, title, args.stats_json)
+    return 0
+
+
 def _build_obs(args: argparse.Namespace):
     """The run's observability bundle, or ``None`` when nothing asked.
 
@@ -352,17 +414,21 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 0
 
 
-def _report_run(ring: RMBRing, title: str,
+def _report_run(ring, title: str,
                 stats_json: Optional[str]) -> None:
+    # ``ring`` is an RMBRing or a BatchRing; the batch backend has no
+    # fault driver / recovery manager / watchdog, so those sections are
+    # attribute-guarded.
     stats = ring.stats()
     rows = [{"metric": key, "value": round(value, 3)}
             for key, value in stats.summary().items()]
     print(render_table(rows, title=title))
-    if ring.faults is not None:
+    faults = getattr(ring, "faults", None)
+    if faults is not None:
         print("\nfault plan:")
-        print(ring.faults.plan.describe())
+        print(faults.plan.describe())
         fault_rows = [{"metric": key, "value": value}
-                      for key, value in ring.faults.stats.summary().items()]
+                      for key, value in faults.stats.summary().items()]
         fault_rows.append({"metric": "evacuation_moves",
                            "value": ring.compaction.stats.evacuations})
         fault_rows.append({"metric": "min_windowed_throughput",
@@ -375,9 +441,10 @@ def _report_run(ring: RMBRing, title: str,
         recovery_rows.append({"metric": "open_breakers",
                               "value": recovery.open_breakers()})
         print(render_table(recovery_rows, title="recovery actions"))
-    if ring.watchdog is not None and len(ring.watchdog.incidents):
+    watchdog = getattr(ring, "watchdog", None)
+    if watchdog is not None and len(watchdog.incidents):
         print("\nwatchdog incidents:")
-        print(ring.watchdog.incidents.render())
+        print(watchdog.incidents.render())
     if stats_json is not None:
         import json
         with open(stats_json, "w", encoding="utf-8") as handle:

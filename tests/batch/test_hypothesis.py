@@ -1,0 +1,76 @@
+"""Property-based differential sweeps across geometry, load and seed.
+
+Hypothesis explores the (nodes, lanes, rate, seed) space the fixed-seed
+suite cannot enumerate; the property is always the same — the batch
+backend must be bit-identical to the event backend.  Example counts are
+deliberately modest: each example runs two full simulations, and the
+fixed-seed suite already pins the known-tricky corners.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import BatchRing, replay_on_batch
+from repro.core import RMBConfig, RMBRing
+from repro.core.config import RetryPolicy
+from repro.core.status import PortHealth
+from repro.sim import RandomStream
+from repro.traffic import bernoulli_schedule, replay_on_ring
+
+BOUNDED = RetryPolicy(delay=8.0, backoff=1.4, jitter=0.5, max_retries=6)
+
+
+def run_pair(config, seed, rate, duration, probe_period, faults=()):
+    def schedule():
+        rng = RandomStream(seed, name="hyp")
+        return bernoulli_schedule(config.nodes, duration, rate, 4, rng)
+
+    event = RMBRing(config, seed=seed, probe_period=probe_period)
+    batch = BatchRing(config, seed=seed, probe_period=probe_period)
+    for segment, lane, health in faults:
+        event.grid.set_health(segment, lane, health)
+        batch.set_health(segment, lane, health)
+    replay_on_ring(event, schedule())
+    replay_on_batch(batch, schedule())
+    event.run(duration)
+    event.drain(max_ticks=500_000)
+    batch.run(duration)
+    batch.drain(max_ticks=500_000)
+    return event, batch
+
+
+def check_identical(event, batch):
+    assert event.stats().summary() == batch.stats().summary()
+    assert event.grid.state_signature() == batch.grid_signature()
+    assert event.sim.now == batch.now
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nodes=st.sampled_from([6, 8, 10, 12]),
+    lanes=st.integers(min_value=2, max_value=4),
+    rate=st.sampled_from([0.03, 0.06, 0.10]),
+    cycle_period=st.sampled_from([1, 2, 3]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fault_free_property(nodes, lanes, rate, cycle_period, seed):
+    config = RMBConfig(nodes=nodes, lanes=lanes,
+                       cycle_period=float(cycle_period), retry=BOUNDED)
+    event, batch = run_pair(config, seed, rate, duration=80, probe_period=8)
+    check_identical(event, batch)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    segment=st.integers(min_value=0, max_value=9),
+    lane=st.integers(min_value=0, max_value=2),
+    health=st.sampled_from([PortHealth.DYING, PortHealth.DEAD]),
+    rate=st.sampled_from([0.05, 0.10]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_static_fault_property(segment, lane, health, rate, seed):
+    config = RMBConfig(nodes=10, lanes=3, cycle_period=2.0, retry=BOUNDED)
+    event, batch = run_pair(config, seed, rate, duration=80,
+                            probe_period=8, faults=[(segment, lane, health)])
+    check_identical(event, batch)
