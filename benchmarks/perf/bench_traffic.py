@@ -1,0 +1,124 @@
+"""Traffic benchmark: per-pattern saturation points on both backends.
+
+For each traffic pattern the saturation engine binary-searches the
+per-node injection rate where the ring stops keeping up (drain budget,
+completion, or latency cap violated), on the event heap and again on
+the vectorized batch backend.  The headline rows are **simulation
+facts, not wall-clock measurements**: a ``sat_<pattern>_<backend>``
+row's ``ops_per_sec`` field carries the saturation rate in
+messages/node/tick, which is deterministic in the seed — so the
+regression gate on these rows catches *protocol throughput*
+regressions (a scheduling change that lowers how much load the ring
+sustains), not machine noise.  ``work`` counts load points evaluated
+and ``wall_seconds`` is the real sweep time, kept for the log.
+
+Two ``replay_<backend>`` rows time a fixed bursty-MMPP replay in
+delivered messages per wall second; those are machine-dependent and
+stay informational.
+
+Emits ``BENCH_traffic.json`` with the full curve summaries in a
+``saturation`` block (the offered-load vs throughput/latency data the
+curves are searched along).  Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_traffic.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from perf_common import emit, time_scenario  # noqa: E402
+
+from repro.batch import BatchRing, replay_on_batch  # noqa: E402
+from repro.core import RMBConfig, RMBRing  # noqa: E402
+from repro.traffic import (  # noqa: E402
+    BOUNDED_RETRY,
+    SaturationConfig,
+    make_pattern,
+    pattern_schedule,
+    replay_on_ring,
+    saturation_search,
+)
+
+NODES = 16
+LANES = 4
+FLITS = 4
+SEED = 7
+DURATION = 100.0
+ITERATIONS = 4
+
+#: Pattern families swept on both backends (>= 6, mixing permutation
+#: families, the k-permutation metric, and stochastic models).
+PATTERNS = ("ring-shift", "transpose", "tornado", "shuffle",
+            "kperm", "uniform", "hotspot")
+
+BACKENDS = ("event", "batch")
+
+
+def sweep(spec: str, backend: str):
+    cfg = SaturationConfig(
+        nodes=NODES, lanes=LANES, data_flits=FLITS, seed=SEED,
+        duration=DURATION, backend=backend, iterations=ITERATIONS)
+    pattern = make_pattern(spec, NODES, k=LANES, seed=SEED)
+    return saturation_search(cfg, pattern)
+
+
+def replay_row(backend: str) -> dict[str, float]:
+    """Wall-clock row: one fixed bursty-MMPP workload, messages/sec."""
+    pattern = make_pattern("uniform", NODES, k=LANES, seed=SEED)
+    schedule = pattern_schedule(
+        pattern, duration=400.0, rate=0.05, data_flits=FLITS,
+        seed=SEED, arrival="mmpp")
+
+    def scenario() -> int:
+        config = RMBConfig(nodes=NODES, lanes=LANES, cycle_period=2.0,
+                           retry=BOUNDED_RETRY)
+        if backend == "batch":
+            ring = BatchRing(config, seed=SEED, probe_period=8.0)
+            replay_on_batch(ring, schedule)
+        else:
+            ring = RMBRing(config, seed=SEED, probe_period=8.0,
+                           check_level="sampled", trace_kinds=set())
+            replay_on_ring(ring, schedule)
+        ring.run(schedule.horizon() + 1.0)
+        ring.drain(max_ticks=500_000)
+        return int(ring.stats().completed)
+
+    return time_scenario(scenario)
+
+
+def main() -> None:
+    results: dict[str, dict[str, float]] = {}
+    curves = []
+    for spec in PATTERNS:
+        for backend in BACKENDS:
+            started = time.perf_counter()
+            curve = sweep(spec, backend)
+            elapsed = time.perf_counter() - started
+            name = f"sat_{spec.replace(':', '_')}_{backend}"
+            results[name] = {
+                "work": float(len(curve.points)),
+                "wall_seconds": round(elapsed, 6),
+                # Deterministic simulation fact (msgs/node/tick), not a
+                # wall-clock rate: the gate pins protocol throughput.
+                "ops_per_sec": round(curve.saturation_rate, 6),
+            }
+            curves.append(curve.summary())
+    for backend in BACKENDS:
+        results[f"replay_{backend}"] = replay_row(backend)
+    emit("traffic", results, extra={
+        "note": ("sat_* rows carry the deterministic saturation rate "
+                 "(messages/node/tick) in ops_per_sec; replay_* rows "
+                 "are wall-clock and informational"),
+        "geometry": {"nodes": NODES, "lanes": LANES,
+                     "data_flits": FLITS, "seed": SEED,
+                     "duration": DURATION, "iterations": ITERATIONS},
+        "saturation": curves,
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ BENCHES = (
     ("bench_end2end.py", ("--backend", "batch")),
     ("bench_obs_overhead.py", ()),
     ("bench_fault_storm.py", ()),
+    ("bench_traffic.py", ()),
 )
 
 

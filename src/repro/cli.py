@@ -29,8 +29,15 @@ from repro.networks import (
     make_batch,
     permutation_pairs,
 )
+from repro.arena import DEFAULT_NETWORKS
 from repro.sim import RandomStream
-from repro.traffic import FAMILIES, bernoulli_schedule, generate, replay_on_ring
+from repro.traffic import (
+    ARRIVALS,
+    FAMILIES,
+    bernoulli_schedule,
+    generate,
+    replay_on_ring,
+)
 
 
 def _add_geometry(parser: argparse.ArgumentParser) -> None:
@@ -137,6 +144,74 @@ def build_parser() -> argparse.ArgumentParser:
     race.add_argument("--family", choices=sorted(FAMILIES),
                       default="random", help="permutation family")
     race.add_argument("--flits", "-f", type=int, default=16)
+
+    arena = commands.add_parser(
+        "arena",
+        help="replay identical traffic patterns across topologies and "
+             "rank them (the Section 3 comparison, per pattern)",
+    )
+    _add_geometry(arena)
+    arena.add_argument("--patterns", default="ring-shift,transpose,kperm",
+                       metavar="SPECS",
+                       help="comma-separated pattern specs (families, "
+                            "'kperm[:K]', 'uniform', 'hotspot[:F]', "
+                            "'local[:R]'; default: %(default)s)")
+    arena.add_argument("--networks",
+                       default=",".join(DEFAULT_NETWORKS),
+                       metavar="NAMES",
+                       help="comma-separated registry names "
+                            "(default: %(default)s)")
+    arena.add_argument("--rounds", type=int, default=1,
+                       help="batch rounds per pattern; sustained "
+                            "k-permutation traffic uses several "
+                            "(default: %(default)s)")
+    arena.add_argument("--flits", "-f", type=int, default=16,
+                       help="data flits per message")
+    arena.add_argument("--max-ticks", type=float, default=2_000_000.0,
+                       help="per-network tick budget")
+    arena.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the arena summary as JSON")
+
+    saturate = commands.add_parser(
+        "saturate",
+        help="binary-search the injection rate where a traffic pattern's "
+             "latency diverges (offered-load sweep)",
+    )
+    _add_geometry(saturate)
+    saturate.add_argument("--pattern", default="uniform", metavar="SPEC",
+                          help="traffic pattern spec (default: %(default)s)")
+    saturate.add_argument("--backend", choices=("event", "batch"),
+                          default="event",
+                          help="execution engine for every load point")
+    saturate.add_argument("--arrival", choices=ARRIVALS,
+                          default="bernoulli",
+                          help="arrival process (default: %(default)s)")
+    saturate.add_argument("--duration", type=float, default=200.0,
+                          help="injection horizon per load point, ticks")
+    saturate.add_argument("--flits", "-f", type=int, default=4,
+                          help="data flits per message")
+    saturate.add_argument("--iterations", type=int, default=6,
+                          help="bisection steps after bracketing")
+    saturate.add_argument("--rate-floor", type=float, default=0.002,
+                          help="lowest candidate rate (msgs/node/tick)")
+    saturate.add_argument("--rate-ceiling", type=float, default=0.5,
+                          help="highest candidate rate (msgs/node/tick)")
+    saturate.add_argument("--fault-plan", default=None, metavar="SPEC",
+                          help="inject faults at every load point (same "
+                               "spec language as 'run'; event backend "
+                               "only)")
+    saturate.add_argument("--recovery", action="store_true",
+                          help="arm the recovery manager at every point "
+                               "(event backend only)")
+    saturate.add_argument("--admission-limit", type=int, default=None,
+                          metavar="N",
+                          help="cap on outstanding requests per source "
+                               "INC (event backend only)")
+    saturate.add_argument("--admission-policy",
+                          choices=("defer", "shed"), default="defer",
+                          help="what happens to over-limit submissions")
+    saturate.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the curve summary as JSON")
 
     cost = commands.add_parser(
         "cost", help="print the Section 3.2 hardware cost table")
@@ -523,6 +598,87 @@ def command_race(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_arena(args: argparse.Namespace) -> int:
+    from repro.arena import run_arena
+    from repro.errors import ReproError
+    patterns = [spec.strip() for spec in args.patterns.split(",")
+                if spec.strip()]
+    networks = [name.strip() for name in args.networks.split(",")
+                if name.strip()]
+    try:
+        report = run_arena(
+            args.nodes, args.lanes, patterns, networks=networks,
+            data_flits=args.flits, seed=args.seed, rounds=args.rounds,
+            max_ticks=args.max_ticks)
+    except ReproError as exc:
+        print(f"bad arena: {exc}")
+        return 1
+    print(report.render())
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def command_saturate(args: argparse.Namespace) -> int:
+    from repro.errors import FaultError, ReproError
+    from repro.traffic import SaturationConfig, make_pattern, \
+        saturation_search
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import parse_spec
+        try:
+            fault_plan = parse_spec(args.fault_plan, args.nodes,
+                                    args.lanes, seed=args.seed)
+        except FaultError as exc:
+            print(f"bad --fault-plan: {exc}")
+            return 1
+    recovery = None
+    if args.recovery:
+        from repro.resilience import RecoveryConfig
+        recovery = RecoveryConfig()
+    cfg = SaturationConfig(
+        nodes=args.nodes, lanes=args.lanes, data_flits=args.flits,
+        seed=args.seed, duration=args.duration, backend=args.backend,
+        arrival=args.arrival, iterations=args.iterations,
+        rate_floor=args.rate_floor, rate_ceiling=args.rate_ceiling,
+        fault_plan=fault_plan, admission_limit=args.admission_limit,
+        admission_policy=args.admission_policy, recovery=recovery)
+    try:
+        pattern = make_pattern(args.pattern, args.nodes, k=args.lanes,
+                               seed=args.seed)
+        curve = saturation_search(cfg, pattern)
+    except ReproError as exc:
+        print(f"saturation sweep failed: {exc}")
+        return 1
+    rows = [dict(row, rate=f"{row['rate']:.5f}") for row in curve.rows()]
+    print(render_table(
+        rows,
+        columns=["rate", "offered", "delivered", "completion",
+                 "mean_latency", "p95_latency", "throughput", "stable"],
+        title=(f"{pattern.describe()} via {args.arrival} arrivals, "
+               f"N={args.nodes} k={args.lanes}, "
+               f"backend={args.backend}"),
+    ))
+    if curve.unstable_rate is None:
+        print(f"\nstable through the whole bracket; saturation >= "
+              f"{curve.saturation_rate:.5f} msgs/node/tick")
+    elif curve.saturation_rate == 0.0:
+        print(f"\nunstable at the rate floor "
+              f"{curve.unstable_rate:.5f} msgs/node/tick")
+    else:
+        print(f"\nsaturation rate: {curve.saturation_rate:.5f} "
+              f"msgs/node/tick (unstable at {curve.unstable_rate:.5f})")
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(curve.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
 def command_cost(args: argparse.Namespace) -> int:
     rows = [row.as_dict() for row in cost_table(args.nodes, args.lanes)]
     print(render_table(
@@ -720,6 +876,8 @@ COMMANDS = {
     "run": command_run,
     "chaos": command_chaos,
     "race": command_race,
+    "arena": command_arena,
+    "saturate": command_saturate,
     "cost": command_cost,
     "trace": command_trace,
     "selfcheck": command_selfcheck,

@@ -1,0 +1,329 @@
+"""Saturation sweeps: where does a pattern's latency diverge?
+
+For a given :class:`~repro.traffic.patterns.TrafficPattern` and arrival
+process, the engine binary-searches the per-node injection rate at which
+the network stops keeping up, and emits the full offered-load vs
+throughput / latency curve along the way — the evaluation the paper's
+own Section 3 race implies and the MIN / hierarchical-ring literature
+makes explicit.
+
+A load point is *stable* when the run drains inside its tick budget,
+delivers at least ``min_completion`` of the offered messages, and keeps
+mean latency under ``latency_cap``.  Saturation is the highest stable
+rate bracketed by the search.  Every point is a fresh, fully seeded
+simulation, so curves are deterministic and bit-comparable across the
+event and batch backends (the differential suite in ``tests/batch``
+guarantees the two backends agree point by point).
+
+The engine composes with the resilience stack: fault plans, admission
+control, recovery and the watchdog all thread through to the event
+backend; asking the batch backend for a feature it does not model raises
+:class:`~repro.batch.engine.BatchUnsupported` naming the feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.config import RMBConfig, RetryPolicy
+from repro.core.network import RMBRing
+from repro.core.stats import RunStats
+from repro.errors import ProtocolError
+from repro.traffic.patterns import TrafficPattern, pattern_schedule
+from repro.traffic.workload import replay_on_ring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.faults.plan import FaultPlan
+    from repro.obs import Observability
+    from repro.resilience import RecoveryConfig
+    from repro.supervision import WatchdogConfig
+
+#: Saturated runs retry-storm; a bounded policy keeps every point's
+#: drain finite so instability shows up as lost completion, not a hang.
+BOUNDED_RETRY = RetryPolicy(delay=8.0, backoff=1.4, jitter=0.5,
+                            max_retries=8)
+
+
+@dataclass
+class SaturationConfig:
+    """Geometry, workload shape and stability criteria for one sweep."""
+
+    nodes: int = 16
+    lanes: int = 4
+    data_flits: int = 4
+    seed: int = 0
+    duration: float = 200.0
+    backend: str = "event"
+    arrival: str = "bernoulli"
+    cycle_period: float = 2.0
+    probe_period: Optional[float] = 8.0
+    retry: RetryPolicy = field(default_factory=lambda: BOUNDED_RETRY)
+    # --- stability criteria ------------------------------------------
+    min_completion: float = 0.99
+    latency_cap: Optional[float] = None     # None: 20 * (flits + nodes)
+    drain_cap_factor: float = 10.0
+    # --- search bracket ----------------------------------------------
+    rate_floor: float = 0.002
+    rate_ceiling: float = 0.5
+    iterations: int = 6
+    # --- resilience composition (event backend only) -----------------
+    fault_plan: Optional["FaultPlan"] = None
+    admission_limit: Optional[int] = None
+    admission_policy: str = "defer"
+    recovery: Optional["RecoveryConfig"] = None
+    watchdog: Optional["WatchdogConfig"] = None
+    obs: Optional["Observability"] = None
+
+    def resolved_latency_cap(self) -> float:
+        if self.latency_cap is not None:
+            return self.latency_cap
+        return 20.0 * (self.data_flits + self.nodes)
+
+
+@dataclass
+class LoadPoint:
+    """One measured point on an offered-load curve."""
+
+    rate: float                  # offered messages / injecting node / tick
+    offered: int                 # messages injected
+    delivered: int
+    completion_rate: float
+    mean_latency: float
+    p95_latency: float
+    throughput: float            # delivered messages per simulated tick
+    duration: float              # simulated ticks including drain
+    stable: bool
+    reason: str                  # "ok" or which criterion failed
+
+    def row(self) -> dict[str, Any]:
+        """Flat dictionary for table rendering."""
+        return {
+            "rate": round(self.rate, 5),
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "completion": round(self.completion_rate, 4),
+            "mean_latency": round(self.mean_latency, 2),
+            "p95_latency": round(self.p95_latency, 2),
+            "throughput": round(self.throughput, 4),
+            "stable": "yes" if self.stable else f"no ({self.reason})",
+        }
+
+
+@dataclass
+class SaturationCurve:
+    """The sweep's result: every evaluated point plus the bracket."""
+
+    pattern: str
+    backend: str
+    arrival: str
+    nodes: int
+    lanes: int
+    points: list[LoadPoint]
+    saturation_rate: float       # highest rate measured stable
+    unstable_rate: Optional[float]  # lowest rate measured unstable
+
+    def rows(self) -> list[dict[str, Any]]:
+        return [point.row() for point in
+                sorted(self.points, key=lambda p: p.rate)]
+
+    def saturation_point(self) -> Optional[LoadPoint]:
+        stable = [p for p in self.points if p.stable]
+        if not stable:
+            return None
+        return max(stable, key=lambda p: p.rate)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able record (the arena-smoke CI artifact shape)."""
+        peak = self.saturation_point()
+        return {
+            "pattern": self.pattern,
+            "backend": self.backend,
+            "arrival": self.arrival,
+            "nodes": self.nodes,
+            "lanes": self.lanes,
+            "saturation_rate": round(self.saturation_rate, 6),
+            "unstable_rate": (round(self.unstable_rate, 6)
+                              if self.unstable_rate is not None else None),
+            "peak_throughput": (round(peak.throughput, 6)
+                                if peak is not None else 0.0),
+            "peak_mean_latency": (round(peak.mean_latency, 4)
+                                  if peak is not None else 0.0),
+            "points": self.rows(),
+        }
+
+
+def _build_event_ring(cfg: SaturationConfig) -> RMBRing:
+    config = RMBConfig(
+        nodes=cfg.nodes, lanes=cfg.lanes, cycle_period=cfg.cycle_period,
+        retry=cfg.retry, admission_limit=cfg.admission_limit,
+        admission_policy=cfg.admission_policy,
+        check_level="sampled",
+    )
+    return RMBRing(config, seed=cfg.seed, probe_period=cfg.probe_period,
+                   fault_plan=cfg.fault_plan, watchdog=cfg.watchdog,
+                   recovery=cfg.recovery, obs=cfg.obs,
+                   trace_kinds=set())
+
+
+def _build_batch_ring(cfg: SaturationConfig) -> Any:
+    from repro.batch import BatchRing
+    from repro.batch.engine import BatchUnsupported
+
+    needs_event = [
+        ("fault_plan", cfg.fault_plan is not None),
+        ("recovery", cfg.recovery is not None),
+        ("watchdog", cfg.watchdog is not None),
+        ("admission_limit", cfg.admission_limit is not None),
+        ("obs", cfg.obs is not None),
+    ]
+    flagged = [name for name, used in needs_event if used]
+    if flagged:
+        raise BatchUnsupported(
+            f"saturation on the batch backend does not support "
+            f"{', '.join(flagged)}; use backend='event'"
+        )
+    config = RMBConfig(nodes=cfg.nodes, lanes=cfg.lanes,
+                       cycle_period=cfg.cycle_period, retry=cfg.retry)
+    return BatchRing(config, seed=cfg.seed, probe_period=cfg.probe_period)
+
+
+def run_point(cfg: SaturationConfig, pattern: TrafficPattern,
+              rate: float) -> LoadPoint:
+    """Simulate one offered-load point and classify its stability."""
+    schedule = pattern_schedule(
+        pattern, duration=cfg.duration, rate=rate,
+        data_flits=cfg.data_flits, seed=cfg.seed, arrival=cfg.arrival)
+    if len(schedule) == 0:
+        return LoadPoint(rate=rate, offered=0, delivered=0,
+                         completion_rate=1.0, mean_latency=0.0,
+                         p95_latency=0.0, throughput=0.0, duration=0.0,
+                         stable=True, reason="ok")
+    if cfg.backend == "batch":
+        ring = _build_batch_ring(cfg)
+        from repro.batch import replay_on_batch
+        replay_on_batch(ring, schedule)
+    elif cfg.backend == "event":
+        ring = _build_event_ring(cfg)
+        replay_on_ring(ring, schedule)
+    else:
+        raise ProtocolError(
+            f"unknown backend {cfg.backend!r}; choose 'event' or 'batch'"
+        )
+    drain_cap = max(4000.0, cfg.drain_cap_factor * cfg.duration)
+    drained = True
+    ring.run(schedule.horizon() + 1.0)
+    try:
+        ring.drain(max_ticks=drain_cap)
+    except ProtocolError:
+        drained = False
+    stats: RunStats = ring.stats()
+    point = _classify(cfg, rate, stats, drained)
+    _record_obs(cfg, pattern, point)
+    return point
+
+
+def _classify(cfg: SaturationConfig, rate: float, stats: RunStats,
+              drained: bool) -> LoadPoint:
+    duration = stats.duration if stats.duration > 0 else 1.0
+    completion = stats.completion_rate
+    mean_latency = stats.latency.mean
+    cap = cfg.resolved_latency_cap()
+    if not drained:
+        stable, reason = False, "drain"
+    elif completion < cfg.min_completion:
+        stable, reason = False, "completion"
+    elif mean_latency > cap:
+        stable, reason = False, "latency"
+    else:
+        stable, reason = True, "ok"
+    return LoadPoint(
+        rate=rate,
+        offered=int(stats.offered),
+        delivered=int(stats.completed),
+        completion_rate=completion,
+        mean_latency=mean_latency,
+        p95_latency=stats.latency_percentile(0.95),
+        throughput=stats.completed / duration,
+        duration=duration,
+        stable=stable,
+        reason=reason,
+    )
+
+
+def _record_obs(cfg: SaturationConfig, pattern: TrafficPattern,
+                point: LoadPoint) -> None:
+    """Count sweep activity in the run's metrics registry (passive)."""
+    if cfg.obs is None or not cfg.obs.registry.enabled:
+        return
+    registry = cfg.obs.registry
+    registry.counter("rmb_traffic_points_total",
+                     help="saturation load points evaluated",
+                     pattern=pattern.spec).inc()
+    if not point.stable:
+        registry.counter("rmb_traffic_unstable_points_total",
+                         help="load points classified unstable",
+                         pattern=pattern.spec).inc()
+
+
+def saturation_search(cfg: SaturationConfig,
+                      pattern: TrafficPattern) -> SaturationCurve:
+    """Bracket the stability boundary by bisection.
+
+    Evaluates the floor and ceiling rates, then bisects ``iterations``
+    times between the highest known-stable and lowest known-unstable
+    rates.  Every evaluated point lands on the returned curve, so the
+    caller gets the offered-load sweep for free.
+    """
+    points: dict[float, LoadPoint] = {}
+
+    def evaluate(rate: float) -> LoadPoint:
+        if rate not in points:
+            points[rate] = run_point(cfg, pattern, rate)
+        return points[rate]
+
+    floor = evaluate(cfg.rate_floor)
+    curve = SaturationCurve(
+        pattern=pattern.spec, backend=cfg.backend, arrival=cfg.arrival,
+        nodes=cfg.nodes, lanes=cfg.lanes, points=[],
+        saturation_rate=0.0, unstable_rate=None)
+    if not floor.stable:
+        curve.points = list(points.values())
+        curve.unstable_rate = cfg.rate_floor
+        return curve
+    low = cfg.rate_floor
+    high: Optional[float] = None
+    ceiling = evaluate(cfg.rate_ceiling)
+    if ceiling.stable:
+        low = cfg.rate_ceiling
+    else:
+        high = cfg.rate_ceiling
+        for _ in range(cfg.iterations):
+            mid = (low + high) / 2.0
+            if evaluate(mid).stable:
+                low = mid
+            else:
+                high = mid
+    curve.points = list(points.values())
+    curve.saturation_rate = low
+    curve.unstable_rate = high
+    if cfg.obs is not None and cfg.obs.registry.enabled:
+        cfg.obs.registry.gauge(
+            "rmb_traffic_saturation_rate",
+            help="highest stable per-node injection rate",
+            pattern=pattern.spec, backend=cfg.backend,
+        ).set(curve.saturation_rate)
+    return curve
+
+
+def sweep_rates(cfg: SaturationConfig, pattern: TrafficPattern,
+                rates: list[float]) -> SaturationCurve:
+    """Evaluate an explicit rate list (no search) as a curve."""
+    points = [run_point(cfg, pattern, rate) for rate in rates]
+    stable = [p.rate for p in points if p.stable]
+    unstable = [p.rate for p in points if not p.stable]
+    return SaturationCurve(
+        pattern=pattern.spec, backend=cfg.backend, arrival=cfg.arrival,
+        nodes=cfg.nodes, lanes=cfg.lanes, points=points,
+        saturation_rate=max(stable) if stable else 0.0,
+        unstable_rate=min(unstable) if unstable else None)

@@ -7,7 +7,7 @@ replayed by scheduling ``submit`` calls at each arrival instant.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Protocol, Sequence, Union
 
 from repro.core.flits import Message
 from repro.core.network import RMBRing, TwoRingRMB
@@ -15,6 +15,12 @@ from repro.core.stats import RunStats
 from repro.traffic.arrivals import ArrivalSchedule
 from repro.traffic.permutations import is_permutation
 from repro.errors import WorkloadError
+
+
+class _SubmitTarget(Protocol):
+    """Anything a schedule can be replayed onto (ring or two-ring)."""
+
+    def submit(self, message: Message) -> object: ...
 
 
 def replay_on_ring(ring: RMBRing, schedule: ArrivalSchedule) -> None:
@@ -53,7 +59,7 @@ class _Submitter:
     checkpoint/restore.
     """
 
-    def __init__(self, target, message: Message) -> None:
+    def __init__(self, target: _SubmitTarget, message: Message) -> None:
         self._target = target
         self._message = message
 
@@ -61,12 +67,12 @@ class _Submitter:
         self._target.submit(self._message)
 
 
-def _submitter(target, message: Message) -> _Submitter:
+def _submitter(target: _SubmitTarget, message: Message) -> _Submitter:
     return _Submitter(target, message)
 
 
 def run_load_point(
-    config_builder,
+    config_builder: Callable[[], Union[RMBRing, TwoRingRMB]],
     schedule: ArrivalSchedule,
     settle_ticks: float = 0.0,
     max_ticks: float = 2_000_000.0,

@@ -1,0 +1,49 @@
+"""Regenerate the golden arena report fixture.
+
+One fixed-seed arena run — N=16, k=4, three topologies (rmb, mesh,
+multibus), transpose + tornado at a single standing-start round — whose
+rendered report is committed byte-for-byte as ``arena_n16_k4.txt``.
+
+``tests/traffic/test_arena_golden.py`` rebuilds the identical run in
+memory and byte-compares against the committed file, pinning the whole
+pipeline: pattern parsing, batch realisation, every per-network
+simulation, and the table renderer.  After an *intentional* change to
+any of those layers, rerun::
+
+    PYTHONPATH=src python tests/fixtures/regen_arena_fixtures.py
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.arena import run_arena
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+NODES = 16
+LANES = 4
+DATA_FLITS = 16
+SEED = 0
+ROUNDS = 1
+PATTERNS = ("transpose", "tornado")
+NETWORKS = ("rmb", "mesh", "multibus")
+
+
+def build_report_text() -> str:
+    report = run_arena(
+        NODES, LANES, list(PATTERNS), networks=NETWORKS,
+        data_flits=DATA_FLITS, seed=SEED, rounds=ROUNDS)
+    return report.render() + "\n"
+
+
+def main() -> None:
+    target = HERE / "arena_n16_k4.txt"
+    target.write_text(build_report_text(), encoding="utf-8")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

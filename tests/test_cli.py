@@ -174,3 +174,84 @@ class TestRunObservability:
                                 "--stats-json", str(observed)]) == 0
         assert json.loads(plain.read_text()) == \
             json.loads(observed.read_text())
+
+
+class TestArena:
+    def test_arena_basic(self, capsys):
+        code = main(["arena", "-n", "16", "-k", "4",
+                     "--patterns", "transpose", "-f", "4",
+                     "--networks", "rmb,multibus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arena: N=16 k=4" in out
+        assert "ordering:" in out
+        assert "multibus" in out
+
+    def test_arena_json_artifact(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "arena.json"
+        code = main(["arena", "-n", "16", "-k", "4",
+                     "--patterns", "tornado", "-f", "2",
+                     "--networks", "rmb,mesh", "--json", str(target)])
+        assert code == 0
+        summary = json.loads(target.read_text())
+        assert summary["nodes"] == 16
+        assert summary["sections"][0]["pattern"] == "tornado"
+        assert {row["network"] for row in
+                summary["sections"][0]["rows"]} == {"rmb", "mesh"}
+
+    def test_arena_bad_pattern_reports_error(self, capsys):
+        code = main(["arena", "--patterns", "zigzag"])
+        assert code == 1
+        assert "bad arena" in capsys.readouterr().out
+
+    def test_arena_unknown_network_reports_error(self, capsys):
+        code = main(["arena", "--patterns", "transpose",
+                     "--networks", "rmb,moebius"])
+        assert code == 1
+        assert "moebius" in capsys.readouterr().out
+
+
+class TestSaturate:
+    SAT = ["saturate", "-n", "8", "-k", "3", "--pattern", "uniform",
+           "--duration", "40", "--iterations", "2"]
+
+    def test_saturate_event_backend(self, capsys):
+        code = main(self.SAT)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation rate:" in out
+        assert "backend=event" in out
+
+    def test_saturate_batch_backend_with_json(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "curve.json"
+        code = main(self.SAT + ["--backend", "batch",
+                                "--json", str(target)])
+        assert code == 0
+        summary = json.loads(target.read_text())
+        assert summary["backend"] == "batch"
+        assert summary["saturation_rate"] > 0
+        assert summary["points"]
+
+    def test_saturate_composes_with_fault_plan(self, capsys):
+        code = main(self.SAT + ["--fault-plan", "seg:1,0@10",
+                                "--recovery"])
+        assert code == 0
+        assert "saturation" in capsys.readouterr().out
+
+    def test_saturate_batch_refuses_event_features_by_name(self, capsys):
+        code = main(self.SAT + ["--backend", "batch",
+                                "--admission-limit", "2"])
+        assert code == 1
+        assert "admission_limit" in capsys.readouterr().out
+
+    def test_saturate_bad_pattern_reports_error(self, capsys):
+        code = main(["saturate", "--pattern", "zigzag"])
+        assert code == 1
+        assert "zigzag" in capsys.readouterr().out
+
+    def test_saturate_bad_fault_plan_reports_error(self, capsys):
+        code = main(self.SAT + ["--fault-plan", "nonsense"])
+        assert code == 1
+        assert "bad --fault-plan" in capsys.readouterr().out

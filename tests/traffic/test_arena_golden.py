@@ -1,0 +1,36 @@
+"""Golden-fixture pin of one full arena run, byte-for-byte.
+
+The committed ``tests/fixtures/arena_n16_k4.txt`` is the rendered
+report of a fixed-seed arena (N=16, k=4; rmb, mesh, multibus; transpose
+and tornado, one standing-start round).  Any drift in pattern parsing,
+batch realisation, any competitor's simulation, or the table renderer
+fails the byte comparison.  After an intentional change, regenerate
+with ``PYTHONPATH=src python tests/fixtures/regen_arena_fixtures.py``
+and commit the diff alongside its cause.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from tests.fixtures.regen_arena_fixtures import build_report_text
+
+FIXTURE = (pathlib.Path(__file__).resolve().parent.parent
+           / "fixtures" / "arena_n16_k4.txt")
+
+
+def test_arena_report_matches_golden_fixture():
+    assert FIXTURE.exists(), (
+        "missing golden fixture; run "
+        "PYTHONPATH=src python tests/fixtures/regen_arena_fixtures.py"
+    )
+    assert build_report_text() == FIXTURE.read_text(encoding="utf-8")
+
+
+def test_fixture_has_the_expected_shape():
+    text = FIXTURE.read_text(encoding="utf-8")
+    assert text.startswith("arena: N=16 k=4 flits=16 seed=0 rounds=1\n")
+    assert text.endswith("\n")
+    assert text.count("ordering:") == 2
+    for network in ("rmb", "mesh", "multibus"):
+        assert network in text

@@ -1,0 +1,122 @@
+"""Degenerate-size regressions: 1- and 2-node networks.
+
+``uniform_destinations(1)`` used to build a chooser that reached
+``rng.randint(0, -1)`` on the first draw, deep inside whichever schedule
+generator called it.  The generators now reject impossible sizes at
+construction with a clear :class:`~repro.errors.WorkloadError`; the
+2-node cases pin down the smallest sizes that must keep working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import RandomStream
+from repro.traffic import (
+    bernoulli_schedule,
+    diurnal_schedule,
+    hotspot_destinations,
+    local_destinations,
+    make_pattern,
+    mmpp_schedule,
+    poisson_schedule,
+    ring_shift,
+    tornado,
+    uniform_destinations,
+)
+
+
+class TestOneNode:
+    def test_uniform_destinations_rejects_one_node(self):
+        with pytest.raises(WorkloadError, match="at least 2 nodes"):
+            uniform_destinations(1)
+
+    def test_uniform_destinations_rejects_zero_nodes(self):
+        with pytest.raises(WorkloadError, match="at least 2 nodes"):
+            uniform_destinations(0)
+
+    @pytest.mark.parametrize("schedule,kwargs", [
+        (bernoulli_schedule, {"duration": 10, "injection_rate": 0.5}),
+        (poisson_schedule, {"duration": 10.0, "rate_per_node": 0.5}),
+        (mmpp_schedule, {"duration": 10.0, "on_rate": 0.5}),
+        (diurnal_schedule, {"duration": 10.0, "peak_rate": 0.5}),
+    ])
+    def test_generators_reject_one_node_at_construction(self, schedule,
+                                                        kwargs):
+        rng = RandomStream(7, name="edge")
+        with pytest.raises(WorkloadError, match="at least 2 nodes"):
+            schedule(nodes=1, data_flits=4, rng=rng, **kwargs)
+
+    def test_hotspot_rejects_one_node(self):
+        with pytest.raises(WorkloadError, match="at least 2 nodes"):
+            hotspot_destinations(1, hotspot=0, fraction=0.5)
+
+    def test_local_rejects_one_node(self):
+        with pytest.raises(WorkloadError):
+            local_destinations(1, reach=1)
+
+    def test_make_pattern_rejects_one_node(self):
+        with pytest.raises(WorkloadError, match="at least 2 nodes"):
+            make_pattern("uniform", 1)
+
+
+class TestTwoNodes:
+    def test_uniform_destinations_always_picks_the_other_node(self):
+        choose = uniform_destinations(2)
+        rng = RandomStream(3, name="edge")
+        for source in (0, 1):
+            for _ in range(16):
+                assert choose(source, rng) == 1 - source
+
+    def test_tornado_of_two_is_the_swap(self):
+        assert tornado(2) == [1, 0]
+
+    def test_tornado_pattern_runs_at_two_nodes(self):
+        pattern = make_pattern("tornado", 2)
+        assert sorted(pattern.pairs()) == [(0, 1), (1, 0)]
+
+    @pytest.mark.parametrize("schedule,kwargs", [
+        (bernoulli_schedule, {"duration": 40, "injection_rate": 0.5}),
+        (poisson_schedule, {"duration": 40.0, "rate_per_node": 0.5}),
+        (mmpp_schedule, {"duration": 40.0, "on_rate": 0.5}),
+        (diurnal_schedule, {"duration": 40.0, "peak_rate": 0.5}),
+    ])
+    def test_generators_produce_valid_two_node_traffic(self, schedule,
+                                                       kwargs):
+        rng = RandomStream(11, name="edge")
+        result = schedule(nodes=2, data_flits=4, rng=rng, **kwargs)
+        assert len(result) > 0
+        for _, message in result:
+            assert message.destination == 1 - message.source
+
+
+class TestRingShiftWrapAround:
+    def test_full_wrap_is_rejected_as_identity(self):
+        with pytest.raises(WorkloadError, match="identity"):
+            ring_shift(2, 2)
+        with pytest.raises(WorkloadError, match="identity"):
+            ring_shift(5, 5)
+        with pytest.raises(WorkloadError, match="identity"):
+            ring_shift(8, 0)
+
+    def test_distance_wraps_modulo_n(self):
+        assert ring_shift(5, 6) == ring_shift(5, 1)
+        assert ring_shift(8, 9) == ring_shift(8, 1)
+        assert ring_shift(2, 3) == [1, 0]
+
+    def test_make_pattern_propagates_identity_rejection(self):
+        with pytest.raises(WorkloadError, match="identity"):
+            make_pattern("ring-shift:2", 2)
+
+
+class TestSourceValidation:
+    def test_out_of_range_source_rejected(self):
+        rng = RandomStream(0, name="edge")
+        with pytest.raises(WorkloadError, match="outside"):
+            bernoulli_schedule(4, 10, 0.5, 4, rng, sources=[0, 4])
+
+    def test_duplicate_sources_rejected(self):
+        rng = RandomStream(0, name="edge")
+        with pytest.raises(WorkloadError, match="distinct"):
+            poisson_schedule(4, 10.0, 0.5, 4, rng, sources=[1, 1])

@@ -1,0 +1,193 @@
+"""Property-based laws of the traffic generator catalogue.
+
+Hypothesis sweeps sizes and seeds over the permutation families, the
+k-permutation helpers, and the arrival schedules, pinning the algebraic
+laws unit tests only spot-check: bijectivity, guard messages, span
+structure, ring-load consistency, and seed determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim import RandomStream
+from repro.traffic import (
+    FAMILIES,
+    bounded_load_pairs,
+    generate,
+    is_permutation,
+    make_pattern,
+    max_ring_load,
+    pattern_batch,
+    pattern_schedule,
+    random_kpermutation,
+    ring_load,
+    ring_shift,
+    tornado,
+    validate_kpermutation,
+)
+
+#: Power-of-two sizes with an even bit count (transpose's extra demand).
+SQUARE_POWERS = st.sampled_from([4, 16, 64])
+#: Any power-of-two size the bit-addressed families accept.
+POWERS = st.sampled_from([2, 4, 8, 16, 32, 64])
+#: Families that need no RNG and accept any suitable size.
+FIXED_FAMILIES = sorted(name for name in FAMILIES
+                        if name not in ("random", "derangement"))
+
+
+class TestFamilyBijections:
+    @given(family=st.sampled_from(FIXED_FAMILIES), nodes=SQUARE_POWERS)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_families_are_permutations(self, family, nodes):
+        assert is_permutation(generate(family, nodes))
+
+    @given(family=st.sampled_from(["random", "derangement"]),
+           nodes=st.integers(min_value=2, max_value=48),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_families_are_permutations(self, family, nodes, seed):
+        rng = RandomStream(seed, name="prop")
+        assert is_permutation(generate(family, nodes, rng))
+
+    @given(nodes=st.integers(min_value=2, max_value=48),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_derangements_have_no_fixed_points(self, nodes, seed):
+        rng = RandomStream(seed, name="prop")
+        perm = generate("derangement", nodes, rng)
+        assert all(perm[i] != i for i in range(nodes))
+
+
+class TestGuards:
+    @given(family=st.sampled_from(["bit-reversal", "bit-complement",
+                                   "shuffle", "transpose", "butterfly"]),
+           nodes=st.integers(min_value=3, max_value=100).filter(
+               lambda n: n & (n - 1) != 0))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_families_demand_powers_of_two(self, family, nodes):
+        with pytest.raises(WorkloadError, match="power-of-two"):
+            generate(family, nodes)
+
+    @given(family=st.sampled_from(["random", "derangement"]),
+           nodes=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=10, deadline=None)
+    def test_random_families_demand_an_rng(self, family, nodes):
+        with pytest.raises(WorkloadError, match="RandomStream"):
+            generate(family, nodes)
+
+    def test_unknown_family_lists_choices(self):
+        with pytest.raises(WorkloadError, match="choose from"):
+            generate("zigzag", 8)
+
+
+class TestSpanLaws:
+    @given(nodes=st.integers(min_value=2, max_value=64),
+           distance=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_ring_shift_has_uniform_span(self, nodes, distance):
+        if distance % nodes == 0:
+            with pytest.raises(WorkloadError):
+                ring_shift(nodes, distance)
+            return
+        perm = ring_shift(nodes, distance)
+        spans = {(perm[i] - i) % nodes for i in range(nodes)}
+        assert spans == {distance % nodes}
+
+    @given(nodes=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_tornado_span_is_half_ring_minus_one(self, nodes):
+        perm = tornado(nodes)
+        expected = max(1, nodes // 2 - 1)
+        spans = {(perm[i] - i) % nodes for i in range(nodes)}
+        assert spans == {expected}
+
+    @given(nodes=st.integers(min_value=2, max_value=64),
+           distance=st.integers(min_value=1, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_ring_shift_load_equals_distance(self, nodes, distance):
+        """Every segment of ``i -> i + d`` carries exactly ``d`` arcs."""
+        if distance % nodes == 0:
+            return
+        perm = ring_shift(nodes, distance)
+        pairs = [(i, perm[i]) for i in range(nodes)]
+        assert ring_load(pairs, nodes) == [distance % nodes] * nodes
+
+
+class TestRingLoadConsistency:
+    @given(nodes=st.integers(min_value=2, max_value=48),
+           seed=st.integers(min_value=0, max_value=2**31),
+           data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_max_ring_load_is_the_profile_maximum(self, nodes, seed, data):
+        k = data.draw(st.integers(min_value=1, max_value=nodes))
+        rng = RandomStream(seed, name="prop")
+        pairs = random_kpermutation(nodes, k, rng)
+        validate_kpermutation(pairs, nodes)
+        profile = ring_load(pairs, nodes)
+        assert max_ring_load(pairs, nodes) == max(profile)
+        clockwise_total = sum((d - s) % nodes for s, d in pairs)
+        assert sum(profile) == clockwise_total
+
+    @given(nodes=st.integers(min_value=4, max_value=48),
+           seed=st.integers(min_value=0, max_value=2**31),
+           data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_load_pairs_respect_the_lane_budget(self, nodes, seed,
+                                                        data):
+        k = data.draw(st.integers(min_value=1, max_value=min(4, nodes - 1)))
+        rng = RandomStream(seed, name="prop")
+        pairs = bounded_load_pairs(nodes, k, rng)
+        validate_kpermutation(pairs, nodes)
+        assert max_ring_load(pairs, nodes) <= k
+
+
+class TestScheduleDeterminism:
+    @given(spec=st.sampled_from(["transpose", "tornado", "kperm",
+                                 "uniform", "hotspot", "local"]),
+           arrival=st.sampled_from(["bernoulli", "poisson", "mmpp",
+                                    "diurnal"]),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_schedule(self, spec, arrival, seed):
+        def build():
+            pattern = make_pattern(spec, 16, k=4, seed=seed)
+            return pattern_schedule(pattern, duration=30.0, rate=0.1,
+                                    data_flits=4, seed=seed,
+                                    arrival=arrival)
+        first, second = build(), build()
+        assert first.entries == second.entries
+        times = [time for time, _ in first.entries]
+        assert times == sorted(times)
+        assert all(0.0 <= time < 30.0 for time in times)
+
+    @given(spec=st.sampled_from(["tornado", "kperm", "uniform"]),
+           rounds=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_pattern_batch_is_seed_deterministic(self, spec, rounds, seed):
+        pattern = make_pattern(spec, 16, k=4, seed=seed)
+        first = pattern_batch(pattern, data_flits=4, seed=seed,
+                              rounds=rounds)
+        second = pattern_batch(pattern, data_flits=4, seed=seed,
+                               rounds=rounds)
+        assert first.entries == second.entries
+        assert len(first) == rounds * len(pattern.sources)
+
+    def test_kperm_rounds_draw_fresh_permutations(self):
+        """Round 2+ of a k-permutation batch must not stack round 1's
+        exact draw (that would multiply one draw's worst segment)."""
+        pattern = make_pattern("kperm", 16, k=4, seed=5)
+        schedule = pattern_batch(pattern, data_flits=4, seed=5, rounds=3)
+        size = len(pattern.sources)
+        rounds = [schedule.messages()[i * size:(i + 1) * size]
+                  for i in range(3)]
+        first = sorted((m.source, m.destination) for m in rounds[0])
+        assert first == sorted(pattern.pairs())
+        later = [sorted((m.source, m.destination) for m in batch)
+                 for batch in rounds[1:]]
+        assert any(batch != first for batch in later)
+        for batch in later:
+            validate_kpermutation(batch, 16)
