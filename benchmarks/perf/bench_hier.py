@@ -1,0 +1,111 @@
+"""Hierarchy benchmark: local-pattern latency across fabric scales.
+
+The hierarchical fabric's selling point is *locality isolation*: traffic
+that stays within a local ring only ever contends with that ring's own
+``n`` nodes, so mean latency for a local pattern should stay roughly
+flat as the total node count ``m * n`` grows.  A flat RMB ring covering
+the same nodes with the same lane budget runs the identical pattern
+with every message contending for one shared segment pool, so its
+latency climbs with scale.
+
+The workload is one standing-start round of intra-ring neighbour shift:
+every fabric node ``(L, i)`` sends to ``(L, (i+1) mod n)``.  All rows
+are **simulation facts, not wall-clock measurements**: ``ops_per_sec``
+carries the mean end-to-end latency in ticks (journey-level for the
+fabric), deterministic in the committed seed.  Lower is better, so the
+rows are informational, never gated — the committed JSON documents the
+scaling shape (hier roughly flat, flat ring growing).
+
+Emits ``BENCH_hier.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_hier.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+
+from perf_common import emit  # noqa: E402
+
+from repro.core import Message, RMBConfig, RMBRing  # noqa: E402
+from repro.hier import HierRMB  # noqa: E402
+
+LANES = 4
+FLITS = 8
+SEED = 7
+
+#: (locals, nodes_per_local) scales: 16 -> 128 total nodes.
+SCALES = ((4, 4), (4, 8), (8, 8), (8, 16))
+
+
+def local_shift(locals_count: int, per_local: int) -> list[Message]:
+    """One intra-ring neighbour-shift round over the whole fabric."""
+    messages = []
+    for local in range(locals_count):
+        base = local * per_local
+        for index in range(per_local):
+            messages.append(Message(
+                message_id=base + index,
+                source=base + index,
+                destination=base + (index + 1) % per_local,
+                data_flits=FLITS))
+    return messages
+
+
+def hier_latency(locals_count: int, per_local: int) -> tuple[float, int]:
+    network = HierRMB(locals=locals_count, nodes_per_local=per_local,
+                      lanes=LANES, seed=SEED)
+    messages = local_shift(locals_count, per_local)
+    network.submit_all(messages)
+    network.drain(max_ticks=2_000_000)
+    stats = network.journey_run_stats()
+    return stats.latency.mean, int(stats.completed)
+
+
+def flat_latency(locals_count: int, per_local: int) -> tuple[float, int]:
+    nodes = locals_count * per_local
+    ring = RMBRing(RMBConfig(nodes=nodes, lanes=LANES), seed=SEED,
+                   trace_kinds=set())
+    ring.submit_all(local_shift(locals_count, per_local))
+    ring.drain(max_ticks=2_000_000)
+    stats = ring.stats()
+    return stats.latency.mean, int(stats.completed)
+
+
+def main() -> None:
+    results: dict[str, dict[str, float]] = {}
+    shape = []
+    for locals_count, per_local in SCALES:
+        nodes = locals_count * per_local
+        row = {"scale": f"{locals_count}x{per_local}", "nodes": nodes}
+        for label, measure in (("hier", hier_latency),
+                               ("flat", flat_latency)):
+            started = time.perf_counter()
+            latency, completed = measure(locals_count, per_local)
+            elapsed = time.perf_counter() - started
+            results[f"local_{label}_{locals_count}x{per_local}"] = {
+                "work": float(completed),
+                "wall_seconds": round(elapsed, 6),
+                # Deterministic simulation fact: mean end-to-end latency
+                # in ticks for the local pattern (lower is better).
+                "ops_per_sec": round(latency, 4),
+            }
+            row[f"{label}_mean_latency"] = round(latency, 4)
+        shape.append(row)
+    emit("hier", results, extra={
+        "note": ("all rows carry the deterministic mean end-to-end "
+                 "latency (ticks) of one intra-ring neighbour-shift "
+                 "round in ops_per_sec — lower is better, informational "
+                 "only; the point is the shape: hier stays roughly flat "
+                 "with total N while the flat ring climbs"),
+        "geometry": {"lanes": LANES, "data_flits": FLITS, "seed": SEED,
+                     "scales": [f"{m}x{n}" for m, n in SCALES]},
+        "latency_by_scale": shape,
+    })
+
+
+if __name__ == "__main__":
+    main()

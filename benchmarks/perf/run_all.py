@@ -32,6 +32,7 @@ BENCHES = (
     ("bench_obs_overhead.py", ()),
     ("bench_fault_storm.py", ()),
     ("bench_traffic.py", ()),
+    ("bench_hier.py", ()),
 )
 
 

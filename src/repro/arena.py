@@ -28,6 +28,7 @@ from repro.networks.registry import (
     EXTRA_NETWORKS,
     PAPER_NETWORKS,
     build_network,
+    is_known_network,
 )
 from repro.traffic.arrivals import ArrivalSchedule
 from repro.traffic.kpermutation import max_ring_load
@@ -155,12 +156,12 @@ def run_arena(
         raise WorkloadError("arena needs at least one pattern")
     if not networks:
         raise WorkloadError("arena needs at least one network")
-    known = set(arena_network_choices())
-    unknown = [name for name in networks if name not in known]
+    unknown = [name for name in networks if not is_known_network(name)]
     if unknown:
         raise TopologyError(
             f"unknown arena networks {unknown}; "
-            f"choose from {sorted(known)}"
+            f"choose from {arena_network_choices()} "
+            f"(hier also accepts an explicit split, e.g. hier:4x8)"
         )
     sections = []
     for spec in patterns:

@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "bit-identical results on the subset it models "
                           "(synchronous rings, static faults), much "
                           "faster at scale")
+    run.add_argument("--topology", default="ring", metavar="SPEC",
+                     help="'ring' (flat RMB, default), 'hier' "
+                          "(auto-factored hierarchy) or 'hier:MxN' "
+                          "(M local rings of N nodes bridged by a global "
+                          "ring); hier reports journey-level stats plus a "
+                          "per-ring breakdown")
     run.add_argument("--messages", "-m", type=int, default=64,
                      help="number of messages")
     run.add_argument("--flits", "-f", type=int, default=16,
@@ -183,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     saturate.add_argument("--backend", choices=("event", "batch"),
                           default="event",
                           help="execution engine for every load point")
+    saturate.add_argument("--topology", default="ring", metavar="SPEC",
+                          help="'ring' (default), 'hier' or 'hier:MxN'; "
+                               "hier judges stability over the whole "
+                               "fabric and reports per-ring rates "
+                               "(event backend only)")
     saturate.add_argument("--arrival", choices=ARRIVALS,
                           default="bernoulli",
                           help="arrival process (default: %(default)s)")
@@ -343,6 +354,8 @@ def command_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"bad retry policy: {exc}")
         return 1
+    if args.topology != "ring":
+        return _command_run_hier(args, retry)
     if args.backend == "batch":
         return _command_run_batch(args, retry)
     config = RMBConfig(nodes=args.nodes, lanes=args.lanes,
@@ -445,6 +458,94 @@ def _command_run_batch(args: argparse.Namespace, retry) -> int:
     ring.run(schedule.horizon() + 1)
     ring.drain()
     _report_run(ring, title, args.stats_json)
+    return 0
+
+
+def _command_run_hier(args: argparse.Namespace, retry) -> int:
+    """``run --topology hier[:MxN]``: traffic on a hierarchical fabric.
+
+    The headline table is *journey-level* (end to end across bridge
+    hops, what a PE actually experiences); a second table breaks the
+    delivered legs down per member ring.  The resilience stack does not
+    yet compose with fabrics, so those flags are rejected by name.
+    """
+    from repro.errors import ConfigurationError
+    from repro.hier import HierRMB
+    from repro.networks.registry import hier_shape
+    from repro.traffic import replay_on_fabric
+    needs_ring = [
+        ("--backend batch", args.backend == "batch"),
+        ("--asynchronous", args.asynchronous),
+        ("--fault-plan", args.fault_plan is not None),
+        ("--recovery", args.recovery),
+        ("--watchdog", args.watchdog),
+    ]
+    flagged = [flag for flag, used in needs_ring if used]
+    if flagged:
+        print(f"--topology {args.topology} does not support "
+              f"{', '.join(flagged)}; use --topology ring")
+        return 1
+    try:
+        locals_count, nodes_per_local = hier_shape(args.topology, args.nodes)
+    except ConfigurationError as exc:
+        print(f"bad --topology: {exc}")
+        return 1
+    lanes = max(2, args.lanes)
+    template = RMBConfig(nodes=nodes_per_local, lanes=lanes,
+                         cycle_period=2.0, retry=retry,
+                         admission_limit=args.admission_limit,
+                         admission_policy=args.admission_policy,
+                         check_level=args.check_level)
+    obs = _build_obs(args)
+    network = HierRMB(locals=locals_count, nodes_per_local=nodes_per_local,
+                      lanes=lanes, seed=args.seed, config=template,
+                      probe_period=8.0, obs=obs)
+    rng = RandomStream(args.seed, name="cli")
+    duration = max(1, int(args.messages / (args.rate * args.nodes)))
+    schedule = bernoulli_schedule(
+        args.nodes, duration, args.rate, args.flits, rng)
+    if len(schedule) == 0:
+        print("the requested rate produced no messages; raise --rate "
+              "or --messages")
+        return 1
+    replay_on_fabric(network, schedule)
+    title = (f"hier RMB {locals_count}x{nodes_per_local} k={args.lanes}, "
+             f"{len(schedule)} messages @ rate {args.rate}")
+    run_until = network.sim.now + schedule.horizon() + 1
+    if args.checkpoint_every is not None:
+        from repro.supervision import PeriodicCheckpointer
+        PeriodicCheckpointer(
+            network, args.checkpoint_every, args.checkpoint_file,
+            meta={"run_until": run_until, "title": title},
+        )
+    network.sim.run(until=run_until)
+    network.drain()
+    stats = network.journey_run_stats()
+    rows = [{"metric": key, "value": round(value, 3)}
+            for key, value in stats.summary().items()]
+    print(render_table(rows, title=f"{title} (journey-level)"))
+    ring_rows = []
+    for name, ring_stats in network.stats_by_ring().items():
+        ring_rows.append({
+            "ring": name,
+            "offered": int(ring_stats.offered),
+            "delivered": int(ring_stats.completed),
+            "mean_latency": round(ring_stats.latency.mean, 2),
+            "nacks": int(ring_stats.nacks),
+        })
+    print()
+    print(render_table(ring_rows, title="per-ring legs"))
+    if args.stats_json is not None:
+        import json
+        payload = dict(stats.summary())
+        payload["rings"] = {
+            name: ring_stats.summary()
+            for name, ring_stats in network.stats_by_ring().items()
+        }
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _export_obs(obs, args)
     return 0
 
 
@@ -642,7 +743,8 @@ def command_saturate(args: argparse.Namespace) -> int:
     cfg = SaturationConfig(
         nodes=args.nodes, lanes=args.lanes, data_flits=args.flits,
         seed=args.seed, duration=args.duration, backend=args.backend,
-        arrival=args.arrival, iterations=args.iterations,
+        arrival=args.arrival, topology=args.topology,
+        iterations=args.iterations,
         rate_floor=args.rate_floor, rate_ceiling=args.rate_ceiling,
         fault_plan=fault_plan, admission_limit=args.admission_limit,
         admission_policy=args.admission_policy, recovery=recovery)
@@ -660,8 +762,16 @@ def command_saturate(args: argparse.Namespace) -> int:
                  "mean_latency", "p95_latency", "throughput", "stable"],
         title=(f"{pattern.describe()} via {args.arrival} arrivals, "
                f"N={args.nodes} k={args.lanes}, "
-               f"backend={args.backend}"),
+               f"backend={args.backend}"
+               + (f", topology={args.topology}"
+                  if args.topology != "ring" else "")),
     ))
+    peak = curve.saturation_point()
+    if peak is not None and peak.ring_rates is not None:
+        parts = ", ".join(f"{name}={rate:.4f}"
+                          for name, rate in peak.ring_rates.items())
+        print(f"\nper-ring delivered legs/tick at the saturation point: "
+              f"{parts}")
     if curve.unstable_rate is None:
         print(f"\nstable through the whole bracket; saturation >= "
               f"{curve.saturation_rate:.5f} msgs/node/tick")

@@ -5,10 +5,12 @@ compaction engine, cycle control (global counter in synchronous mode, or
 per-INC handshake controllers on independent skewed clocks in asynchronous
 mode), invariant monitoring, and measurement probes — on one simulator.
 
-:class:`TwoRingRMB` realises the paper's Section 2.1 remark that "one may
-like to organise the communication as two parallel unidirectional rings":
-it runs a clockwise and a counter-clockwise ring on a shared simulator and
-routes each message the short way round.
+:class:`TwoRingRMB` (re-exported from :mod:`repro.hier.tworing`, where it
+is a thin :class:`~repro.hier.fabric.RingFabric` route-map instance)
+realises the paper's Section 2.1 remark that "one may like to organise
+the communication as two parallel unidirectional rings": it runs a
+clockwise and a counter-clockwise ring on a shared simulator and routes
+each message the short way round.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.supervision.watchdog import Watchdog, WatchdogConfig
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> faults cycle
     from repro.faults.plan import FaultPlan
+    from repro.hier.tworing import TwoRingRMB as TwoRingRMB  # noqa: F401
     from repro.obs.wiring import Observability
     from repro.resilience.recovery import RecoveryConfig, RecoveryManager
 
@@ -76,6 +79,14 @@ class RMBRing:
             (degraded mode).  Off by default: without it, results are
             bit-identical to the pre-recovery tree.
         name: label prefix for trace subjects and clock names.
+        obs_ring_label: set by a :class:`~repro.hier.fabric.RingFabric`
+            when this ring is a fabric member: the ring's state
+            collectors are registered with a ``ring=<label>`` gauge
+            label (so members sharing one registry don't collide), a
+            ``rmb_ring{name=<label>}`` info gauge marks membership, and
+            the kernel collector is skipped (the fabric registers one
+            for the shared simulator).  ``None`` (the default) keeps the
+            unlabelled single-ring wiring bit-identical.
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class RMBRing:
         recovery: Optional["RecoveryConfig"] = None,
         obs: Optional["Observability"] = None,
         name: str = "rmb",
+        obs_ring_label: Optional[str] = None,
     ) -> None:
         self.config = config
         self.name = name
@@ -203,11 +215,20 @@ class RMBRing:
                 RingStateCollector,
             )
             registry = obs.registry
-            registry.register_collector(KernelCollector(self.sim, registry))
+            if obs_ring_label is None:
+                registry.register_collector(
+                    KernelCollector(self.sim, registry))
+            else:
+                registry.gauge(
+                    "rmb_ring", help="Fabric member ring (1 = present)",
+                    name=obs_ring_label,
+                ).set(1.0)
             registry.register_collector(
-                RingStateCollector(self.routing, self.grid, registry))
+                RingStateCollector(self.routing, self.grid, registry,
+                                   ring=obs_ring_label))
             registry.register_collector(
-                CompactionCollector(self.compaction, registry))
+                CompactionCollector(self.compaction, registry,
+                                    ring=obs_ring_label))
             if self.recovery is not None:
                 from repro.resilience.recovery import RecoveryCollector
                 registry.register_collector(
@@ -324,95 +345,11 @@ class RMBRing:
         self.monitor.check()
 
 
-class TwoRingRMB:
-    """Two unidirectional RMB rings sharing one simulator.
-
-    Messages are routed on the ring that gives the shorter span; ties go
-    clockwise.  The counter-clockwise ring is an ordinary :class:`RMBRing`
-    over mirrored node indices (``i -> (N - i) % N``), which turns
-    counter-clockwise physical travel into clockwise logical travel.
-    """
-
-    def __init__(
-        self,
-        config: RMBConfig,
-        lanes_per_direction: Optional[int] = None,
-        seed: int = 0,
-        check_invariants: bool = True,
-        probe_period: Optional[float] = None,
-    ) -> None:
-        lanes = lanes_per_direction
-        if lanes is None:
-            if config.lanes < 2:
-                raise ProtocolError(
-                    "two-ring RMB needs at least 2 lanes to split"
-                )
-            lanes = config.lanes // 2
-        ring_config = config.with_overrides(lanes=lanes)
-        self.config = ring_config
-        self.nodes = config.nodes
-        self.sim = Simulator()
-        self.clockwise = RMBRing(
-            ring_config, seed=seed, sim=self.sim, name="cw",
-            check_invariants=check_invariants, probe_period=probe_period,
-        )
-        self.counterclockwise = RMBRing(
-            ring_config, seed=seed + 1, sim=self.sim, name="ccw",
-            check_invariants=check_invariants, probe_period=probe_period,
-        )
-        self._ring_of_message: dict[int, RMBRing] = {}
-
-    def _mirror(self, node: int) -> int:
-        return (self.nodes - node) % self.nodes
-
-    def submit(self, message: Message) -> MessageRecord:
-        """Route the message the short way round."""
-        clockwise_span = (message.destination - message.source) % self.nodes
-        if clockwise_span <= self.nodes - clockwise_span:
-            self._ring_of_message[message.message_id] = self.clockwise
-            return self.clockwise.submit(message)
-        mirrored = Message(
-            message_id=message.message_id,
-            source=self._mirror(message.source),
-            destination=self._mirror(message.destination),
-            data_flits=message.data_flits,
-            created_at=message.created_at,
-            extra_destinations=tuple(
-                self._mirror(tap) for tap in message.extra_destinations
-            ),
-        )
-        self._ring_of_message[message.message_id] = self.counterclockwise
-        return self.counterclockwise.submit(mirrored)
-
-    def submit_all(self, messages: Iterable[Message]) -> list[MessageRecord]:
-        return [self.submit(message) for message in messages]
-
-    def pending(self) -> int:
-        return self.clockwise.routing.pending() + \
-            self.counterclockwise.routing.pending()
-
-    def run(self, ticks: float) -> None:
-        self.sim.run_ticks(ticks)
-
-    def drain(self, max_ticks: float = 1_000_000.0) -> float:
-        start = self.sim.now
-        chunk = max(self.config.cycle_period, self.config.flit_period) * 16
-        while self.pending() > 0:
-            if self.sim.now - start > max_ticks:
-                cw = format_census(self.clockwise.routing.lifecycle_census())
-                ccw = format_census(
-                    self.counterclockwise.routing.lifecycle_census())
-                raise ProtocolError(
-                    f"two-ring RMB failed to drain within {max_ticks} ticks "
-                    f"(cw {cw}; ccw {ccw})"
-                )
-            # Absolute chunk boundaries, for the same checkpoint/restore
-            # reason as RMBRing.drain.
-            self.sim.run(until=(self.sim.now // chunk + 1) * chunk)
-        return self.sim.now - start
-
-    def stats(self) -> RunStats:
-        """Combined statistics over both directions."""
-        records = list(self.clockwise.routing.records.values())
-        records.extend(self.counterclockwise.routing.records.values())
-        return RunStats.from_records(records, duration=self.sim.now)
+def __getattr__(name: str) -> object:
+    # TwoRingRMB now lives in the multi-ring composite layer as a thin
+    # RingFabric route-map instance; resolve it lazily so core <-> hier
+    # stays acyclic while every historical import keeps working.
+    if name == "TwoRingRMB":
+        from repro.hier.tworing import TwoRingRMB
+        return TwoRingRMB
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

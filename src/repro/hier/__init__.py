@@ -1,0 +1,34 @@
+"""The multi-ring composite layer: ring fabrics, route maps, hierarchies.
+
+A :class:`RingFabric` composes named :class:`~repro.core.network.RMBRing`
+members on one shared simulator behind the single-ring workload surface
+(``submit`` / ``run`` / ``drain`` / ``stats``), driving multi-leg
+journeys through a declarative :class:`RouteMap` with store-and-forward
+re-injection at ring boundaries.  :class:`TwoRingRMB` (the paper's
+Section 2.1 two-ring variant) and :class:`HierRMB` (local rings bridged
+by a global ring) are both thin route-map instances of it.
+"""
+
+from repro.hier.fabric import (
+    FabricRecord,
+    Hop,
+    HopRecord,
+    RingFabric,
+    RouteMap,
+)
+from repro.hier.hier import GLOBAL_RING, HierRMB, HierRouteMap, local_ring_name
+from repro.hier.tworing import MirrorRouteMap, TwoRingRMB
+
+__all__ = [
+    "FabricRecord",
+    "GLOBAL_RING",
+    "HierRMB",
+    "HierRouteMap",
+    "Hop",
+    "HopRecord",
+    "MirrorRouteMap",
+    "RingFabric",
+    "RouteMap",
+    "TwoRingRMB",
+    "local_ring_name",
+]

@@ -1,0 +1,520 @@
+"""The multi-ring composite layer: named rings, route maps, hop trails.
+
+A :class:`RingFabric` owns one shared :class:`~repro.sim.kernel.Simulator`
+and a set of named :class:`~repro.core.network.RMBRing` members.  Messages
+are submitted to the *fabric*; a declarative :class:`RouteMap` turns each
+message into a chain of :class:`Hop` legs (one per member ring), and the
+fabric drives the chain with store-and-forward re-injection: when a leg
+completes on its ring (the routing engine's ``on_complete`` hook), the
+next leg is submitted immediately, on the same simulator, at the current
+simulation time.  The original ``message_id`` is preserved on every leg,
+so a journey is one id with a :class:`HopRecord` trail across rings.
+
+The fabric unifies the composite-network surface that used to be
+re-implemented per topology (``TwoRingRMB`` before this layer existed):
+``submit`` / ``pending`` / ``drain`` / ``lifecycle_census`` / ``stats``
+all behave exactly like a single :class:`RMBRing`, with per-ring
+breakdowns (:meth:`RingFabric.stats_by_ring`,
+:meth:`RingFabric.census_by_ring`) layered on top.
+
+Two statistics views coexist:
+
+* :meth:`RingFabric.stats` — *leg level*: every per-ring record counts,
+  matching what each member ring physically did (and matching the
+  single-ring meaning of utilization / live buses / incidents).
+* :meth:`RingFabric.journey_run_stats` — *message level*: one row per
+  submitted journey, with end-to-end latency measured from the original
+  ``created_at`` to the final leg's completion.
+
+Route maps and the fabric itself follow the checkpoint rules from
+``repro.supervision``: no closures, plain picklable instances, bound
+methods only on picklable owners.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.flits import Message, MessageRecord
+from repro.core.routing import format_census
+from repro.core.stats import RunStats
+from repro.errors import ProtocolError
+from repro.sim.kernel import Simulator, every
+from repro.sim.monitor import RateMeter, TimeSeries
+from repro.supervision.incidents import IncidentLog
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (core imports us)
+    from repro.core.network import RMBRing
+    from repro.obs.wiring import Observability
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One leg of a journey: which ring, and the endpoints *on that ring*.
+
+    Endpoints are in the member ring's own coordinate system (the route
+    map owns the translation from fabric addresses — e.g. mirroring for
+    a counter-rotating ring, or ``global_node = local // n`` for a
+    hierarchy).  The fabric materialises the actual per-leg
+    :class:`~repro.core.flits.Message` at injection time, so a hop stays
+    a pure description.
+    """
+
+    ring: str
+    source: int
+    destination: int
+    extra_destinations: Tuple[int, ...] = ()
+
+
+@dataclass
+class HopRecord:
+    """One executed (or in-flight) leg of a journey.
+
+    Attributes:
+        ring: member ring the leg ran on.
+        message: the per-leg message actually injected (ring-local
+            endpoints, original ``message_id``).
+        submitted_at: simulation time the leg was submitted.
+        record: the member ring's live :class:`MessageRecord` for the leg.
+    """
+
+    ring: str
+    message: Message
+    submitted_at: float
+    record: MessageRecord
+
+    @property
+    def completed_at(self) -> Optional[float]:
+        return self.record.completed_at
+
+
+@dataclass
+class FabricRecord:
+    """A journey: the original message plus its planned and executed hops.
+
+    ``trail`` grows as legs are injected; the journey is ``finished``
+    once the final leg completes.  End-to-end latency is measured from
+    the *original* message's ``created_at`` (intermediate legs carry
+    re-injection timestamps of their own).
+    """
+
+    message: Message
+    plan: Tuple[Hop, ...]
+    trail: List[HopRecord] = field(default_factory=list)
+    next_hop: int = 0
+    completed_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def hops(self) -> int:
+        """Planned chain length."""
+        return len(self.plan)
+
+    def rings_visited(self) -> Tuple[str, ...]:
+        """Names of the rings legs have been injected on, in order."""
+        return tuple(hop.ring for hop in self.trail)
+
+    def latency(self) -> Optional[float]:
+        """End-to-end request-to-completion time (``None`` until done)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.message.created_at
+
+    def setup_time(self) -> Optional[float]:
+        """First leg's circuit-establishment time (``None`` until known)."""
+        if not self.trail:
+            return None
+        return self.trail[0].record.setup_time()
+
+
+class RouteMap(ABC):
+    """Declarative message → ring-chain mapping.
+
+    Implementations are pure: :meth:`plan` must depend only on the
+    message (same message, same plan), so journeys replay bit-exactly
+    from checkpoints and the Hypothesis determinism suite can pin the
+    hop trail.
+    """
+
+    @abstractmethod
+    def plan(self, message: Message) -> Tuple[Hop, ...]:
+        """The chain of hops that realises ``message``, in travel order.
+
+        Raises:
+            ProtocolError: if the message cannot be routed (bad address,
+                unsupported multicast shape, ...).
+        """
+
+
+class RingFabric:
+    """A composite network of named RMB rings on one shared simulator.
+
+    Subclasses (``TwoRingRMB``, :class:`~repro.hier.hier.HierRMB`)
+    construct their member rings with ``sim=self.sim`` and register them
+    via :meth:`add_ring`; registration order fixes the per-ring order of
+    every aggregate (stats record order, census rendering, checkpoint
+    manifests), so keep it deterministic.
+
+    Args:
+        route_map: the fabric's message → hop-chain mapping.
+        name: label for drain diagnostics and probe series.
+        probe_period: sampling period for the *fabric-level* utilization
+            / live-bus probes and the delivered-flits rate meter;
+            ``None`` disables them (member rings may still run their
+            own probes).
+    """
+
+    def __init__(
+        self,
+        route_map: RouteMap,
+        name: str = "fabric",
+        probe_period: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.route_map = route_map
+        self.sim = Simulator()
+        self.rings: Dict[str, "RMBRing"] = {}
+        self.journeys: Dict[int, FabricRecord] = {}
+        self._ring_of_message: Dict[int, "RMBRing"] = {}
+        self.utilization = TimeSeries(f"{name}.utilization")
+        self.live_buses = TimeSeries(f"{name}.live_buses")
+        self.throughput_meter: Optional[RateMeter] = None
+        self._probe_period = probe_period
+        self.obs: Optional["Observability"] = None
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def add_ring(self, ring: "RMBRing") -> "RMBRing":
+        """Register a member ring and take over its completion hook.
+
+        The ring must have been built on the fabric's simulator and its
+        ``name`` must be unique within the fabric.
+        """
+        if ring.sim is not self.sim:
+            raise ProtocolError(
+                f"ring {ring.name!r} was not built on the fabric simulator"
+            )
+        if ring.name in self.rings:
+            raise ProtocolError(
+                f"duplicate ring name {ring.name!r} in fabric {self.name!r}"
+            )
+        if ring.routing.on_complete is not None:
+            raise ProtocolError(
+                f"ring {ring.name!r} already has an on_complete hook"
+            )
+        ring.routing.on_complete = self._leg_completed
+        self.rings[ring.name] = ring
+        return ring
+
+    def _arm_probes(self) -> None:
+        """Start the fabric-level probes (call once all rings exist)."""
+        if self._probe_period is None:
+            return
+        every(self.sim, self._probe_period, self._sample_probes,
+              label=f"{self.name}.probes")
+        self.throughput_meter = RateMeter(
+            self.sim, self._probe_period, self._flits_delivered_total,
+            name=f"{self.name}.throughput",
+        )
+
+    def _wire_obs(self, obs: Optional["Observability"]) -> None:
+        """Attach an observability bundle at the fabric level.
+
+        Member rings register their own *ring-labelled* state collectors
+        (``obs_ring_label``); the fabric contributes the single shared
+        kernel collector, since all members run on one simulator.
+        """
+        if obs is None:
+            return
+        from repro.obs.wiring import KernelCollector
+        self.obs = obs
+        obs.registry.register_collector(KernelCollector(self.sim, obs.registry))
+
+    def ring(self, name: str) -> "RMBRing":
+        """The member ring called ``name``."""
+        try:
+            return self.rings[name]
+        except KeyError:
+            raise ProtocolError(
+                f"fabric {self.name!r} has no ring {name!r} "
+                f"(members: {', '.join(self.rings) or 'none'})"
+            ) from None
+
+    def member_names(self) -> Tuple[str, ...]:
+        """Member ring names in registration order."""
+        return tuple(self.rings)
+
+    # ------------------------------------------------------------------
+    # Workload interface (mirrors RMBRing)
+    # ------------------------------------------------------------------
+    def submit(self, message: Message) -> MessageRecord:
+        """Plan the journey and inject its first leg; return that record.
+
+        The returned record is the *first leg's* ring-level record; the
+        whole journey is tracked in :attr:`journeys` under the message id.
+        """
+        if message.message_id in self.journeys:
+            raise ProtocolError(
+                f"duplicate fabric message id {message.message_id}"
+            )
+        plan = self.route_map.plan(message)
+        if not plan:
+            raise ProtocolError(
+                f"route map produced an empty chain for message "
+                f"{message.message_id}"
+            )
+        seen: set[str] = set()
+        for hop in plan:
+            if hop.ring not in self.rings:
+                raise ProtocolError(
+                    f"route map names unknown ring {hop.ring!r} "
+                    f"(members: {', '.join(self.rings)})"
+                )
+            if hop.ring in seen:
+                raise ProtocolError(
+                    f"route map visits ring {hop.ring!r} twice for message "
+                    f"{message.message_id}; a chain may use each ring once"
+                )
+            seen.add(hop.ring)
+        journey = FabricRecord(message=message, plan=plan)
+        self.journeys[message.message_id] = journey
+        return self._inject_next_leg(journey)
+
+    def submit_all(self, messages: Iterable[Message]) -> list[MessageRecord]:
+        """Queue a batch of messages."""
+        return [self.submit(message) for message in messages]
+
+    def _inject_next_leg(self, journey: FabricRecord) -> MessageRecord:
+        hop = journey.plan[journey.next_hop]
+        ring = self.rings[hop.ring]
+        original = journey.message
+        # The first leg keeps the original creation time (end-to-end
+        # latency starts there); re-injected legs are created "now" at
+        # the bridge, which is what store-and-forward means.
+        created = (original.created_at if journey.next_hop == 0
+                   else self.sim.now)
+        leg = Message(
+            message_id=original.message_id,
+            source=hop.source,
+            destination=hop.destination,
+            data_flits=original.data_flits,
+            created_at=created,
+            extra_destinations=hop.extra_destinations,
+        )
+        record = ring.submit(leg)
+        journey.trail.append(HopRecord(
+            ring=hop.ring, message=leg,
+            submitted_at=self.sim.now, record=record,
+        ))
+        journey.next_hop += 1
+        self._ring_of_message[original.message_id] = ring
+        return record
+
+    def _leg_completed(self, record: MessageRecord) -> None:
+        """Routing-engine ``on_complete`` hook: chain or finish a journey.
+
+        Runs synchronously inside the completing ring's event, exactly
+        like the grid composition layer: the next leg is submitted at the
+        current simulation time (store-and-forward at the bridge).
+        Records for traffic submitted directly to a member ring (not
+        through the fabric) are ignored.
+        """
+        journey = self.journeys.get(record.message.message_id)
+        if journey is None or not journey.trail:
+            return
+        if journey.trail[-1].record is not record:
+            return
+        if journey.next_hop < len(journey.plan):
+            self._inject_next_leg(journey)
+        else:
+            journey.completed_at = record.completed_at
+
+    def run(self, ticks: float) -> None:
+        """Advance the shared simulation by ``ticks``."""
+        self.sim.run_ticks(ticks)
+
+    def pending(self) -> int:
+        """Requests outstanding across every member ring."""
+        return sum(ring.routing.pending() for ring in self.rings.values())
+
+    def _drain_chunk(self) -> float:
+        return max(
+            max(ring.config.cycle_period, ring.config.flit_period)
+            for ring in self.rings.values()
+        ) * 16
+
+    def drain(self, max_ticks: float = 1_000_000.0) -> float:
+        """Run until all submitted traffic completes; return elapsed ticks.
+
+        Raises:
+            ProtocolError: if traffic fails to drain within ``max_ticks``;
+                the message carries every member ring's lifecycle census.
+        """
+        if not self.rings:
+            raise ProtocolError(f"fabric {self.name!r} has no member rings")
+        start = self.sim.now
+        chunk = self._drain_chunk()
+        while self.pending() > 0:
+            if self.sim.now - start > max_ticks:
+                raise ProtocolError(
+                    f"{self.name} failed to drain within {max_ticks} ticks "
+                    f"({self._census_clause()})"
+                )
+            # Absolute chunk boundaries (not now + chunk): a run resumed
+            # from a checkpoint stops at the same final time as the
+            # uninterrupted run, keeping checkpoint/restore bit-exact.
+            self.sim.run(until=(self.sim.now // chunk + 1) * chunk)
+        return self.sim.now - start
+
+    def _census_clause(self) -> str:
+        return "; ".join(
+            f"{name} {format_census(ring.routing.lifecycle_census())}"
+            for name, ring in self.rings.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _sample_probes(self) -> None:
+        occupied = 0.0
+        segments = 0
+        live = 0
+        for ring in self.rings.values():
+            count = ring.config.nodes * ring.config.lanes
+            occupied += ring.grid.utilization() * count
+            segments += count
+            live += ring.routing.live_bus_count()
+        self.utilization.record(
+            self.sim.now, occupied / segments if segments else 0.0)
+        self.live_buses.record(self.sim.now, float(live))
+
+    def _flits_delivered_total(self) -> float:
+        return float(sum(ring.routing.flits_delivered
+                         for ring in self.rings.values()))
+
+    def lifecycle_census(self) -> Dict[str, int]:
+        """Non-terminal lifecycle states summed across member rings."""
+        census: Dict[str, int] = {}
+        for ring in self.rings.values():
+            for state, count in ring.routing.lifecycle_census().items():
+                census[state] = census.get(state, 0) + count
+        return census
+
+    def census_by_ring(self) -> Dict[str, Dict[str, int]]:
+        """Each member ring's lifecycle census, keyed by ring name."""
+        return {name: ring.routing.lifecycle_census()
+                for name, ring in self.rings.items()}
+
+    def _merged_incidents(self) -> Optional[IncidentLog]:
+        logs = [ring.watchdog.incidents for ring in self.rings.values()
+                if ring.watchdog is not None]
+        if not logs:
+            return None
+        merged = IncidentLog()
+        for incident in sorted(
+            (entry for log in logs for entry in log),
+            key=lambda incident: incident.time,
+        ):
+            merged.record(incident)
+        return merged
+
+    def _merged_admission(self) -> Optional[Dict[str, float]]:
+        summaries = [ring.routing.admission.summary()
+                     for ring in self.rings.values()
+                     if ring.routing.admission.enabled]
+        if not summaries:
+            return None
+        merged: Dict[str, float] = {}
+        for summary in summaries:
+            for key, value in summary.items():
+                merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    def stats(self) -> RunStats:
+        """Leg-level statistics with the full single-ring surface.
+
+        Records are aggregated per member ring in registration order
+        (stable accumulation order keeps fixed-seed summaries
+        bit-identical); utilization / live buses / throughput come from
+        the fabric-level probes, incidents and admission summaries are
+        merged across rings.
+        """
+        records: list[MessageRecord] = []
+        for ring in self.rings.values():
+            records.extend(ring.routing.records.values())
+        return RunStats.from_records(
+            records,
+            duration=self.sim.now,
+            utilization=self.utilization,
+            live_buses=self.live_buses,
+            throughput=(self.throughput_meter.series
+                        if self.throughput_meter is not None else None),
+            incidents=self._merged_incidents(),
+            admission=self._merged_admission(),
+            forced_teardowns=sum(ring.routing.forced_teardowns
+                                 for ring in self.rings.values()),
+        )
+
+    def stats_by_ring(self) -> Dict[str, RunStats]:
+        """Each member ring's own :meth:`RMBRing.stats`, keyed by name."""
+        return {name: ring.stats() for name, ring in self.rings.items()}
+
+    def journey_run_stats(self) -> RunStats:
+        """Message-level statistics: one row per submitted journey.
+
+        Latency is end to end (original ``created_at`` to the final
+        leg's completion); nacks / retries / stalls / fault counters are
+        summed over the journey's legs.  Probe series and merged
+        incident / admission summaries are shared with :meth:`stats`.
+        """
+        stats = RunStats(
+            duration=self.sim.now,
+            utilization=self.utilization,
+            live_buses=self.live_buses,
+            throughput=(self.throughput_meter.series
+                        if self.throughput_meter is not None else None),
+            incidents=self._merged_incidents(),
+            admission=self._merged_admission(),
+            forced_teardowns=sum(ring.routing.forced_teardowns
+                                 for ring in self.rings.values()),
+        )
+        for journey in self.journeys.values():
+            stats.offered += 1
+            legs = [hop.record for hop in journey.trail]
+            if legs and legs[0].shed:
+                stats.shed += 1
+                continue
+            stats.nacks += sum(leg.nacks for leg in legs)
+            stats.retries += sum(leg.retries for leg in legs)
+            stats.fault_kills += sum(leg.fault_kills for leg in legs)
+            stats.fault_nacks += sum(leg.fault_nacks for leg in legs)
+            stats.deferrals += sum(leg.deferred for leg in legs)
+            stats.stalls.add(sum(leg.head_stall_ticks for leg in legs))
+            if any(leg.abandoned for leg in legs):
+                stats.abandoned += 1
+            if journey.finished:
+                stats.completed += 1
+                stats.flits_delivered += journey.message.total_flits
+                latency = journey.latency()
+                if latency is not None:
+                    stats.latency.add(latency)
+                    stats._latencies.append(latency)
+                setup = journey.setup_time()
+                if setup is not None:
+                    stats.setup.add(setup)
+        return stats
+
+    def check_now(self) -> None:
+        """Run every member ring's invariant suite immediately."""
+        for ring in self.rings.values():
+            ring.check_now()
+
+    def cycle_count(self) -> int:
+        """Max compaction cycle index across member rings."""
+        return max(ring.cycle_count() for ring in self.rings.values())

@@ -1,0 +1,253 @@
+"""The N-ring hierarchy: local RMB rings bridged by a global ring.
+
+:class:`HierRMB` realises the ROADMAP's "N-ring hierarchical topology
+engine" as a :class:`~repro.hier.fabric.RingFabric`: ``m`` local rings of
+``n`` nodes each, plus one global ring of ``m`` nodes.  Node 0 of each
+local ring is that ring's *bridge*; global-ring node ``L`` is the same
+physical station as local ring ``L``'s bridge.  A fabric node address is
+``u = L * n + i`` (local ring ``L``, local index ``i``).
+
+Routing is store-and-forward through the bridges (the hierarchical-rings
+design of Ausavarungnirun et al., minus deflection — RMB circuits give
+us lossless legs):
+
+* same-ring traffic (``L == M``) takes a single local hop and never
+  touches the global ring;
+* cross-ring traffic chains up to three hops — ``local L: i -> 0``
+  (skipped when the source *is* the bridge), ``global: L -> M``, and
+  ``local M: 0 -> j`` (skipped when the destination is the bridge) —
+  the shortest chain that respects the hierarchy.
+
+Multicast is supported within one local ring (the paper's tap semantics
+apply unchanged on the leg); cross-ring multicast is refused.
+
+Wire budget: a flat RMB ring with ``m * n`` nodes and ``k`` lanes costs
+``m * n * k`` segments.  The default split spends ``k - 1`` lanes on
+each local ring and ``min(n, max(2, k))`` on the global ring, for a
+total of ``m*n*(k-1) + m*min(n, max(2, k))`` — never more than the flat
+budget (the arena's honest-accounting requirement; see
+:meth:`HierRMB.wire_budget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.config import RMBConfig
+from repro.core.flits import Message
+from repro.core.network import RMBRing
+from repro.errors import ProtocolError
+from repro.hier.fabric import Hop, RingFabric, RouteMap
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.wiring import Observability
+
+
+def local_ring_name(local: int) -> str:
+    """Canonical member-ring name for local ring ``local``."""
+    return f"local{local}"
+
+
+#: Canonical member-ring name for the global ring.
+GLOBAL_RING = "global"
+
+
+@dataclass(frozen=True)
+class HierRouteMap(RouteMap):
+    """Bridge routing over ``locals`` rings of ``nodes_per_local`` nodes.
+
+    Pure address arithmetic — no state, no randomness — so hop trails
+    are a deterministic function of the message (pinned by the
+    Hypothesis suite in ``tests/hier/``).
+    """
+
+    locals: int
+    nodes_per_local: int
+
+    @property
+    def nodes(self) -> int:
+        """Total addressable fabric nodes."""
+        return self.locals * self.nodes_per_local
+
+    def split(self, node: int) -> Tuple[int, int]:
+        """``(local ring, local index)`` of fabric address ``node``."""
+        if not 0 <= node < self.nodes:
+            raise ProtocolError(
+                f"fabric address {node} out of range for "
+                f"{self.locals}x{self.nodes_per_local} hierarchy "
+                f"(0..{self.nodes - 1})"
+            )
+        return divmod(node, self.nodes_per_local)
+
+    def plan(self, message: Message) -> Tuple[Hop, ...]:
+        source_ring, i = self.split(message.source)
+        dest_ring, j = self.split(message.destination)
+        if source_ring == dest_ring:
+            taps = []
+            for tap in message.extra_destinations:
+                tap_ring, tap_index = self.split(tap)
+                if tap_ring != source_ring:
+                    raise ProtocolError(
+                        f"multicast tap {tap} is on local ring {tap_ring}, "
+                        f"but the message travels only on ring "
+                        f"{source_ring}; hier multicast must stay within "
+                        f"one local ring"
+                    )
+                taps.append(tap_index)
+            return (Hop(
+                ring=local_ring_name(source_ring),
+                source=i, destination=j,
+                extra_destinations=tuple(taps),
+            ),)
+        if message.extra_destinations:
+            raise ProtocolError(
+                f"message {message.message_id} multicasts across local "
+                f"rings ({source_ring} -> {dest_ring}); hier multicast "
+                f"must stay within one local ring"
+            )
+        hops: List[Hop] = []
+        if i != 0:
+            hops.append(Hop(
+                ring=local_ring_name(source_ring), source=i, destination=0))
+        hops.append(Hop(
+            ring=GLOBAL_RING, source=source_ring, destination=dest_ring))
+        if j != 0:
+            hops.append(Hop(
+                ring=local_ring_name(dest_ring), source=0, destination=j))
+        return tuple(hops)
+
+
+class HierRMB(RingFabric):
+    """A hierarchy of local RMB rings bridged by a global ring.
+
+    Args:
+        locals: number of local rings ``m`` (even, at least 4 — the
+            global ring is itself an RMB ring and inherits the even-N
+            protocol requirement).
+        nodes_per_local: nodes ``n`` on each local ring (even, >= 4).
+        lanes: the flat-ring lane budget ``k`` the hierarchy must stay
+            within (see :meth:`wire_budget`).
+        lanes_split: explicit ``(local_lanes, global_lanes)`` override;
+            the default spends ``k - 1`` per local ring and
+            ``min(n, max(2, k))`` on the global ring.
+        seed: root seed; member rings derive distinct deterministic
+            seeds from it (grid idiom: ``seed*1009 + L`` per local ring,
+            ``seed*2003`` for the global ring).
+        config: optional :class:`RMBConfig` template supplying every
+            non-geometry knob (periods, retry policy, check level, ...);
+            nodes and lanes are overridden per member ring.
+        check_invariants: arm each member ring's invariant monitor.
+        probe_period: sampling period for fabric-level *and* per-ring
+            utilization / live-bus probes; ``None`` disables both.
+        obs: optional observability bundle; member metrics are labelled
+            ``ring=localL`` / ``ring=global`` plus ``rmb_ring{name=...}``
+            membership gauges.
+    """
+
+    def __init__(
+        self,
+        locals: int = 4,
+        nodes_per_local: int = 8,
+        lanes: int = 4,
+        lanes_split: Optional[Tuple[int, int]] = None,
+        seed: int = 0,
+        config: Optional[RMBConfig] = None,
+        check_invariants: bool = True,
+        probe_period: Optional[float] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
+        if lanes_split is None:
+            if lanes < 2:
+                raise ProtocolError(
+                    "hier RMB needs at least 2 lanes to split between the "
+                    "local and global tiers (or pass lanes_split)"
+                )
+            lanes_split = (max(1, lanes - 1),
+                           min(nodes_per_local, max(2, lanes)))
+        local_lanes, global_lanes = lanes_split
+        if local_lanes < 1 or global_lanes < 1:
+            raise ProtocolError(
+                f"lanes_split must give every tier at least one lane, "
+                f"got {lanes_split}"
+            )
+        super().__init__(
+            HierRouteMap(locals, nodes_per_local),
+            name=f"hier {locals}x{nodes_per_local}",
+            probe_period=probe_period,
+        )
+        template = config if config is not None else RMBConfig(
+            nodes=nodes_per_local, lanes=lanes)
+        self.locals = locals
+        self.nodes_per_local = nodes_per_local
+        self.nodes = locals * nodes_per_local
+        self.lanes = lanes
+        self.local_lanes = local_lanes
+        self.global_lanes = global_lanes
+        self.local_config = template.with_overrides(
+            nodes=nodes_per_local, lanes=local_lanes)
+        self.global_config = template.with_overrides(
+            nodes=locals, lanes=global_lanes)
+        for local in range(locals):
+            name = local_ring_name(local)
+            self.add_ring(RMBRing(
+                self.local_config, seed=seed * 1009 + local, sim=self.sim,
+                name=name, check_invariants=check_invariants,
+                probe_period=probe_period, obs=obs,
+                obs_ring_label=name if obs is not None else None,
+            ))
+        self.add_ring(RMBRing(
+            self.global_config, seed=seed * 2003, sim=self.sim,
+            name=GLOBAL_RING, check_invariants=check_invariants,
+            probe_period=probe_period, obs=obs,
+            obs_ring_label=GLOBAL_RING if obs is not None else None,
+        ))
+        self._wire_obs(obs)
+        self._arm_probes()
+
+    # ------------------------------------------------------------------
+    # Addressing helpers
+    # ------------------------------------------------------------------
+    def address(self, local: int, index: int) -> int:
+        """Fabric address of local ring ``local``, local index ``index``."""
+        if not 0 <= local < self.locals:
+            raise ProtocolError(
+                f"local ring {local} out of range (0..{self.locals - 1})")
+        if not 0 <= index < self.nodes_per_local:
+            raise ProtocolError(
+                f"local index {index} out of range "
+                f"(0..{self.nodes_per_local - 1})")
+        return local * self.nodes_per_local + index
+
+    def split(self, node: int) -> Tuple[int, int]:
+        """``(local ring, local index)`` of fabric address ``node``."""
+        route_map = self.route_map
+        assert isinstance(route_map, HierRouteMap)
+        return route_map.split(node)
+
+    def bridge(self, local: int) -> int:
+        """Fabric address of local ring ``local``'s bridge node."""
+        return self.address(local, 0)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def wire_budget(self) -> Dict[str, int]:
+        """Segment accounting against the flat-ring budget.
+
+        A flat RMB ring covering the same ``m * n`` nodes with the
+        declared ``lanes`` budget owns ``m * n * lanes`` segments; the
+        hierarchy must not spend more (``within_budget``), so arena
+        comparisons against ``rmb(m*n, k)`` are honest.
+        """
+        local_segments = self.locals * self.nodes_per_local * self.local_lanes
+        global_segments = self.locals * self.global_lanes
+        budget = self.locals * self.nodes_per_local * self.lanes
+        total = local_segments + global_segments
+        return {
+            "budget_segments": budget,
+            "local_segments": local_segments,
+            "global_segments": global_segments,
+            "total_segments": total,
+            "within_budget": int(total <= budget),
+        }

@@ -13,7 +13,11 @@ k-permutation comparison, following Section 3.2's own normalisations:
 * ``mesh`` — N nodes, channel multiplicity ceil(sqrt(k)) (the paper widens
   each mesh dimension by sqrt(k) to pass k wires);
 * ``multibus`` — k global arbitrated buses;
-* ``crossbar`` — contention floor.
+* ``crossbar`` — contention floor;
+* ``hier`` / ``hier:MxN`` — M local RMB rings of N/M nodes bridged by a
+  global ring, spending at most the flat ring's ``N * k`` segments
+  (``hier`` auto-factors N into the squarest even M x n split; the
+  explicit form must satisfy ``M * n == N``).
 """
 
 from __future__ import annotations
@@ -32,7 +36,67 @@ from repro.networks.hypercube import HypercubeNetwork
 from repro.networks.karyncube import KAryNCubeNetwork
 from repro.networks.mesh import MeshNetwork
 from repro.networks.multibus import MultiBusNetwork
-from repro.networks.rmb_adapter import RMBNetworkAdapter, TwoRingRMBAdapter
+from repro.networks.rmb_adapter import (
+    HierRMBAdapter,
+    RMBNetworkAdapter,
+    TwoRingRMBAdapter,
+)
+
+
+def hier_shape(name: str, nodes: int) -> tuple[int, int]:
+    """The ``(locals, nodes_per_local)`` split a hier spec asks for.
+
+    ``hier`` auto-factors ``nodes`` into the squarest ``m x n`` split
+    with both factors even and at least 4 (preferring fewer, larger
+    local rings on ties); ``hier:MxN`` is explicit and must multiply
+    out to ``nodes``.
+    """
+    if name == "hier":
+        candidates = [
+            (m, nodes // m) for m in range(4, nodes // 4 + 1, 2)
+            if nodes % m == 0 and (nodes // m) % 2 == 0 and nodes // m >= 4
+        ]
+        if not candidates:
+            raise ConfigurationError(
+                f"cannot factor N={nodes} into an even MxN hierarchy "
+                "(both factors must be even and >= 4); "
+                "use hier:MxN to choose the split explicitly"
+            )
+        side = math.sqrt(nodes)
+        return min(candidates, key=lambda mn: (abs(mn[0] - side), mn[0]))
+    spec = name.removeprefix("hier:")
+    parts = spec.split("x")
+    try:
+        m, n = (int(part) for part in parts)
+    except ValueError:
+        m, n = 0, 0
+    if len(parts) != 2 or m <= 0 or n <= 0:
+        raise ConfigurationError(
+            f"bad hier spec {name!r}; expected hier or hier:MxN "
+            "(e.g. hier:4x8)"
+        )
+    if m * n != nodes:
+        raise ConfigurationError(
+            f"hier spec {name!r} covers {m * n} nodes but the comparison "
+            f"is sized for N={nodes}"
+        )
+    if m % 2 or n % 2 or m < 4 or n < 4:
+        raise ConfigurationError(
+            f"hier spec {name!r} needs both factors even and >= 4 "
+            "(each tier is itself an RMB ring)"
+        )
+    return m, n
+
+
+def is_known_network(name: str) -> bool:
+    """Whether :func:`build_network` can resolve ``name``.
+
+    Covers the fixed registry names plus the parametrised ``hier:MxN``
+    family (shape validation happens at build time, when N is known).
+    """
+    if name in PAPER_NETWORKS or name in EXTRA_NETWORKS:
+        return True
+    return name.startswith("hier:")
 
 
 def _power_of_two_at_most(value: int) -> int:
@@ -55,6 +119,10 @@ def _square_torus(nodes: int) -> KAryNCubeNetwork:
 def build_network(name: str, nodes: int, k: int,
                   seed: int = 0) -> ComparisonNetwork:
     """Build a named network sized for N nodes and k-permutation support."""
+    if name == "hier" or name.startswith("hier:"):
+        locals_count, nodes_per_local = hier_shape(name, nodes)
+        return HierRMBAdapter(
+            locals_count, nodes_per_local, k=max(2, k), seed=seed, name=name)
     builders: dict[str, Callable[[], ComparisonNetwork]] = {
         "rmb": lambda: RMBNetworkAdapter(
             RMBConfig(nodes=nodes, lanes=k), seed=seed
@@ -86,5 +154,7 @@ def build_network(name: str, nodes: int, k: int,
 PAPER_NETWORKS = ("rmb", "hypercube", "ehc", "gfc", "fattree", "mesh")
 
 #: Extra reference rows this reproduction adds (k-ary n-cube is the
-#: paper's own named future-work comparator, realised as a square torus).
-EXTRA_NETWORKS = ("rmb-2ring", "multibus", "crossbar", "karyncube")
+#: paper's own named future-work comparator, realised as a square torus;
+#: ``hier`` is the N-ring hierarchical fabric, also reachable with an
+#: explicit split as ``hier:MxN``).
+EXTRA_NETWORKS = ("rmb-2ring", "multibus", "crossbar", "karyncube", "hier")

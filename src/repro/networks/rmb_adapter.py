@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 from repro.core.config import RMBConfig
 from repro.core.flits import Message
 from repro.core.network import RMBRing, TwoRingRMB
+from repro.hier.hier import HierRMB
 from repro.networks.base import BatchResult, ComparisonNetwork
 
 
@@ -90,3 +91,56 @@ class TwoRingRMBAdapter(ComparisonNetwork):
     def describe(self) -> str:
         lanes = self.lanes_per_direction
         return f"rmb-2ring(N={self.nodes}, lanes/dir={lanes})"
+
+
+class HierRMBAdapter(ComparisonNetwork):
+    """Hierarchical RMB fabric as a :class:`ComparisonNetwork`.
+
+    Deliveries and latencies are *journey-level* (end to end across
+    bridge hops), so the hierarchy is scored on what a PE actually
+    experiences, not on per-ring leg counts.  ``name`` carries the
+    requested registry spelling (``hier`` or ``hier:MxN``) so arena rows
+    and orderings stay stable for golden fixtures.
+    """
+
+    def __init__(self, locals: int, nodes_per_local: int, k: int,
+                 seed: int = 0, check_invariants: bool = True,
+                 name: str = "hier") -> None:
+        super().__init__(locals * nodes_per_local)
+        self.name = name
+        self.locals = locals
+        self.nodes_per_local = nodes_per_local
+        self.k = k
+        self.seed = seed
+        self.check_invariants = check_invariants
+        self.last_network: Optional[HierRMB] = None
+
+    def route_batch(self, messages: Sequence[Message],
+                    max_ticks: float = 1_000_000.0) -> BatchResult:
+        network = HierRMB(
+            locals=self.locals,
+            nodes_per_local=self.nodes_per_local,
+            lanes=self.k,
+            seed=self.seed,
+            check_invariants=self.check_invariants,
+        )
+        self.last_network = network
+        network.submit_all(messages)
+        network.drain(max_ticks=max_ticks)
+        result = BatchResult(self.name, self.nodes, network.sim.now)
+        for journey in network.journeys.values():
+            if journey.finished:
+                result.delivered += 1
+                latency = journey.latency()
+                if latency is not None:
+                    result.latencies.append(latency)
+        return result
+
+    def describe(self) -> str:
+        local_lanes = max(1, self.k - 1)
+        global_lanes = min(self.nodes_per_local, max(2, self.k))
+        total = self.nodes * local_lanes + self.locals * global_lanes
+        budget = self.nodes * self.k
+        return (f"hier({self.locals}x{self.nodes_per_local}, k={self.k}, "
+                f"lanes {local_lanes}/{global_lanes}, "
+                f"wires {total}<={budget})")

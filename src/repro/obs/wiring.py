@@ -131,27 +131,39 @@ _ROUTING_SCRAPES = (
 
 
 class RingStateCollector:
-    """Scrapes one ring: routing aggregates, grid occupancy, live buses."""
+    """Scrapes one ring: routing aggregates, grid occupancy, live buses.
+
+    ``ring`` labels every gauge with ``ring=<name>`` — fabric members
+    sharing one registry each get their own instrument family.  ``None``
+    (the default) keeps the historical unlabelled single-ring metrics.
+    """
 
     def __init__(self, routing: "RoutingEngine", grid: "SegmentGrid",
-                 registry: MetricsRegistry) -> None:
+                 registry: MetricsRegistry,
+                 ring: Optional[str] = None) -> None:
+        labels = {} if ring is None else {"ring": ring}
         self._routing = routing
         self._grid = grid
         self._scrapes = [
-            (registry.gauge(f"rmb_routing_{attribute}", help=help_text),
+            (registry.gauge(f"rmb_routing_{attribute}", help=help_text,
+                            **labels),
              attribute)
             for attribute, help_text in _ROUTING_SCRAPES
         ]
         self._utilization = registry.gauge(
-            "rmb_grid_utilization", help="Fraction of segments occupied")
+            "rmb_grid_utilization", help="Fraction of segments occupied",
+            **labels)
         self._live_buses = registry.gauge(
-            "rmb_live_buses", help="Virtual buses currently holding segments")
+            "rmb_live_buses", help="Virtual buses currently holding segments",
+            **labels)
         self._pending = registry.gauge(
             "rmb_pending_requests",
-            help="Requests queued, deferred, in flight, or backing off")
+            help="Requests queued, deferred, in flight, or backing off",
+            **labels)
         self._lanes = [
             registry.gauge("rmb_lane_occupied_segments",
-                           help="Occupied segments per lane", lane=lane)
+                           help="Occupied segments per lane", lane=lane,
+                           **labels)
             for lane in range(grid.lanes)
         ]
 
@@ -167,19 +179,28 @@ class RingStateCollector:
 
 
 class CompactionCollector:
-    """Scrapes compaction activity, including the D1 condition split."""
+    """Scrapes compaction activity, including the D1 condition split.
+
+    ``ring`` labels every gauge with ``ring=<name>`` (see
+    :class:`RingStateCollector`).
+    """
 
     def __init__(self, compaction: "CompactionEngine",
-                 registry: MetricsRegistry) -> None:
+                 registry: MetricsRegistry,
+                 ring: Optional[str] = None) -> None:
+        labels = {} if ring is None else {"ring": ring}
         self._compaction = compaction
         self._registry = registry
+        self._labels = labels
         self._moves = registry.gauge(
-            "rmb_compaction_moves", help="Committed downward lane moves")
+            "rmb_compaction_moves", help="Committed downward lane moves",
+            **labels)
         self._cycles = registry.gauge(
-            "rmb_compaction_cycles_run", help="Compaction cycles executed")
+            "rmb_compaction_cycles_run", help="Compaction cycles executed",
+            **labels)
         self._evacuations = registry.gauge(
             "rmb_compaction_evacuations",
-            help="Escape moves off dying segments")
+            help="Escape moves off dying segments", **labels)
 
     def __call__(self) -> None:
         stats = self._compaction.stats
@@ -192,5 +213,5 @@ class CompactionCollector:
             self._registry.gauge(
                 "rmb_compaction_moves_by_condition",
                 help="Committed moves split by register-sequence condition",
-                condition=condition,
+                condition=condition, **self._labels,
             ).set(count)

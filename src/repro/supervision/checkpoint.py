@@ -17,8 +17,9 @@ simulator refuses to snapshot live generator processes — checkpointing
 is defined for the callback-style RMB machinery.
 
 File format: one JSON manifest line (format tag, :data:`SNAPSHOT_VERSION`,
-sim time, caller metadata) followed by the raw pickle payload.  The
-manifest can be read without unpickling via :func:`describe_snapshot`.
+sim time, caller metadata, and — for ring fabrics — the member ring
+names under ``rings``) followed by the raw pickle payload.  The manifest
+can be read without unpickling via :func:`describe_snapshot`.
 
 .. warning::
    Snapshots are pickles: restoring one executes arbitrary code embedded
@@ -63,6 +64,12 @@ def save_snapshot_bytes(ring: "RMBRing",
         "sim_time": ring.sim.now,
         "meta": dict(meta) if meta else {},
     }
+    # Ring fabrics (TwoRingRMB, HierRMB) are snapshotted as one graph;
+    # listing the member rings lets describe_snapshot() tell a fabric
+    # snapshot from a flat-ring one without unpickling.
+    members = getattr(ring, "rings", None)
+    if isinstance(members, dict) and members:
+        manifest["rings"] = list(members)
     try:
         header = json.dumps(manifest, sort_keys=True).encode("utf-8")
     except (TypeError, ValueError) as exc:

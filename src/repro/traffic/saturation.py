@@ -30,8 +30,10 @@ from repro.core.config import RMBConfig, RetryPolicy
 from repro.core.network import RMBRing
 from repro.core.stats import RunStats
 from repro.errors import ProtocolError
+from repro.hier.fabric import RingFabric
+from repro.hier.hier import HierRMB
 from repro.traffic.patterns import TrafficPattern, pattern_schedule
-from repro.traffic.workload import replay_on_ring
+from repro.traffic.workload import replay_on_fabric, replay_on_ring
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.faults.plan import FaultPlan
@@ -56,6 +58,11 @@ class SaturationConfig:
     duration: float = 200.0
     backend: str = "event"
     arrival: str = "bernoulli"
+    #: ``"ring"`` (the flat RMB), or a hier spec (``"hier"`` /
+    #: ``"hier:MxN"``): stability is then judged over the whole fabric
+    #: (journey-level completion and end-to-end latency) and load points
+    #: carry per-ring delivery rates.  Event backend only.
+    topology: str = "ring"
     cycle_period: float = 2.0
     probe_period: Optional[float] = 8.0
     retry: RetryPolicy = field(default_factory=lambda: BOUNDED_RETRY)
@@ -95,10 +102,13 @@ class LoadPoint:
     duration: float              # simulated ticks including drain
     stable: bool
     reason: str                  # "ok" or which criterion failed
+    #: Per-ring delivered-legs-per-tick, for fabric topologies only
+    #: (``None`` on the flat ring, keeping committed row shapes stable).
+    ring_rates: Optional[dict[str, float]] = None
 
     def row(self) -> dict[str, Any]:
         """Flat dictionary for table rendering."""
-        return {
+        row = {
             "rate": round(self.rate, 5),
             "offered": self.offered,
             "delivered": self.delivered,
@@ -108,6 +118,10 @@ class LoadPoint:
             "throughput": round(self.throughput, 4),
             "stable": "yes" if self.stable else f"no ({self.reason})",
         }
+        if self.ring_rates is not None:
+            row["ring_rates"] = {name: round(rate, 5)
+                                 for name, rate in self.ring_rates.items()}
+        return row
 
 
 @dataclass
@@ -122,6 +136,7 @@ class SaturationCurve:
     points: list[LoadPoint]
     saturation_rate: float       # highest rate measured stable
     unstable_rate: Optional[float]  # lowest rate measured unstable
+    topology: str = "ring"
 
     def rows(self) -> list[dict[str, Any]]:
         return [point.row() for point in
@@ -134,9 +149,16 @@ class SaturationCurve:
         return max(stable, key=lambda p: p.rate)
 
     def summary(self) -> dict[str, Any]:
-        """JSON-able record (the arena-smoke CI artifact shape)."""
+        """JSON-able record (the arena-smoke CI artifact shape).
+
+        ``topology`` appears only for fabric sweeps, so flat-ring
+        summaries keep the committed baseline shape byte for byte.
+        """
         peak = self.saturation_point()
+        extra = ({"topology": self.topology}
+                 if self.topology != "ring" else {})
         return {
+            **extra,
             "pattern": self.pattern,
             "backend": self.backend,
             "arrival": self.arrival,
@@ -166,6 +188,35 @@ def _build_event_ring(cfg: SaturationConfig) -> RMBRing:
                    trace_kinds=set())
 
 
+def _build_event_hier(cfg: SaturationConfig) -> HierRMB:
+    from repro.networks.registry import hier_shape
+
+    unsupported = [
+        ("fault_plan", cfg.fault_plan is not None),
+        ("recovery", cfg.recovery is not None),
+        ("watchdog", cfg.watchdog is not None),
+    ]
+    flagged = [name for name, used in unsupported if used]
+    if flagged:
+        raise ProtocolError(
+            f"saturation on a hier topology does not yet compose with "
+            f"{', '.join(flagged)}; use topology='ring'"
+        )
+    locals_count, nodes_per_local = hier_shape(cfg.topology, cfg.nodes)
+    template = RMBConfig(
+        nodes=nodes_per_local, lanes=max(2, cfg.lanes),
+        cycle_period=cfg.cycle_period, retry=cfg.retry,
+        admission_limit=cfg.admission_limit,
+        admission_policy=cfg.admission_policy,
+        check_level="sampled",
+    )
+    return HierRMB(
+        locals=locals_count, nodes_per_local=nodes_per_local,
+        lanes=max(2, cfg.lanes), seed=cfg.seed, config=template,
+        probe_period=cfg.probe_period, obs=cfg.obs,
+    )
+
+
 def _build_batch_ring(cfg: SaturationConfig) -> Any:
     from repro.batch import BatchRing
     from repro.batch.engine import BatchUnsupported
@@ -176,6 +227,7 @@ def _build_batch_ring(cfg: SaturationConfig) -> Any:
         ("watchdog", cfg.watchdog is not None),
         ("admission_limit", cfg.admission_limit is not None),
         ("obs", cfg.obs is not None),
+        (f"topology {cfg.topology!r}", cfg.topology != "ring"),
     ]
     flagged = [name for name, used in needs_event if used]
     if flagged:
@@ -204,8 +256,17 @@ def run_point(cfg: SaturationConfig, pattern: TrafficPattern,
         from repro.batch import replay_on_batch
         replay_on_batch(ring, schedule)
     elif cfg.backend == "event":
-        ring = _build_event_ring(cfg)
-        replay_on_ring(ring, schedule)
+        if cfg.topology == "ring":
+            ring = _build_event_ring(cfg)
+            replay_on_ring(ring, schedule)
+        elif cfg.topology == "hier" or cfg.topology.startswith("hier:"):
+            ring = _build_event_hier(cfg)
+            replay_on_fabric(ring, schedule)
+        else:
+            raise ProtocolError(
+                f"unknown topology {cfg.topology!r}; choose 'ring', "
+                f"'hier' or 'hier:MxN'"
+            )
     else:
         raise ProtocolError(
             f"unknown backend {cfg.backend!r}; choose 'event' or 'batch'"
@@ -217,14 +278,26 @@ def run_point(cfg: SaturationConfig, pattern: TrafficPattern,
         ring.drain(max_ticks=drain_cap)
     except ProtocolError:
         drained = False
-    stats: RunStats = ring.stats()
-    point = _classify(cfg, rate, stats, drained)
+    ring_rates: Optional[dict[str, float]] = None
+    if isinstance(ring, RingFabric):
+        # Stability is judged over the whole fabric: journey-level
+        # completion and end-to-end latency, not per-leg numbers.
+        stats: RunStats = ring.journey_run_stats()
+        duration = stats.duration if stats.duration > 0 else 1.0
+        ring_rates = {
+            name: member.routing.completed / duration
+            for name, member in ring.rings.items()
+        }
+    else:
+        stats = ring.stats()
+    point = _classify(cfg, rate, stats, drained, ring_rates=ring_rates)
     _record_obs(cfg, pattern, point)
     return point
 
 
 def _classify(cfg: SaturationConfig, rate: float, stats: RunStats,
-              drained: bool) -> LoadPoint:
+              drained: bool,
+              ring_rates: Optional[dict[str, float]] = None) -> LoadPoint:
     duration = stats.duration if stats.duration > 0 else 1.0
     completion = stats.completion_rate
     mean_latency = stats.latency.mean
@@ -248,6 +321,7 @@ def _classify(cfg: SaturationConfig, rate: float, stats: RunStats,
         duration=duration,
         stable=stable,
         reason=reason,
+        ring_rates=ring_rates,
     )
 
 
@@ -286,7 +360,7 @@ def saturation_search(cfg: SaturationConfig,
     curve = SaturationCurve(
         pattern=pattern.spec, backend=cfg.backend, arrival=cfg.arrival,
         nodes=cfg.nodes, lanes=cfg.lanes, points=[],
-        saturation_rate=0.0, unstable_rate=None)
+        saturation_rate=0.0, unstable_rate=None, topology=cfg.topology)
     if not floor.stable:
         curve.points = list(points.values())
         curve.unstable_rate = cfg.rate_floor
@@ -326,4 +400,5 @@ def sweep_rates(cfg: SaturationConfig, pattern: TrafficPattern,
         pattern=pattern.spec, backend=cfg.backend, arrival=cfg.arrival,
         nodes=cfg.nodes, lanes=cfg.lanes, points=points,
         saturation_rate=max(stable) if stable else 0.0,
-        unstable_rate=min(unstable) if unstable else None)
+        unstable_rate=min(unstable) if unstable else None,
+        topology=cfg.topology)

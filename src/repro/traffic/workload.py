@@ -12,6 +12,7 @@ from typing import Callable, Protocol, Sequence, Union
 from repro.core.flits import Message
 from repro.core.network import RMBRing, TwoRingRMB
 from repro.core.stats import RunStats
+from repro.hier.fabric import RingFabric
 from repro.traffic.arrivals import ArrivalSchedule
 from repro.traffic.permutations import is_permutation
 from repro.errors import WorkloadError
@@ -39,8 +40,8 @@ def replay_on_ring(ring: RMBRing, schedule: ArrivalSchedule) -> None:
                              label=f"arrive.msg{message.message_id}")
 
 
-def replay_on_two_ring(network: TwoRingRMB, schedule: ArrivalSchedule) -> None:
-    """Schedule-replay onto a bidirectional RMB."""
+def replay_on_fabric(network: RingFabric, schedule: ArrivalSchedule) -> None:
+    """Schedule-replay onto any ring fabric (two-ring, hierarchy, ...)."""
     now = network.sim.now
     for time, message in schedule:
         if time < now:
@@ -49,6 +50,11 @@ def replay_on_two_ring(network: TwoRingRMB, schedule: ArrivalSchedule) -> None:
             )
         network.sim.schedule_at(time, _submitter(network, message),
                                 label=f"arrive.msg{message.message_id}")
+
+
+def replay_on_two_ring(network: TwoRingRMB, schedule: ArrivalSchedule) -> None:
+    """Schedule-replay onto a bidirectional RMB."""
+    replay_on_fabric(network, schedule)
 
 
 class _Submitter:
@@ -72,7 +78,7 @@ def _submitter(target: _SubmitTarget, message: Message) -> _Submitter:
 
 
 def run_load_point(
-    config_builder: Callable[[], Union[RMBRing, TwoRingRMB]],
+    config_builder: Callable[[], Union[RMBRing, RingFabric]],
     schedule: ArrivalSchedule,
     settle_ticks: float = 0.0,
     max_ticks: float = 2_000_000.0,
@@ -81,14 +87,15 @@ def run_load_point(
 
     Args:
         config_builder: zero-argument callable returning a new
-            :class:`RMBRing` (or :class:`TwoRingRMB`).
+            :class:`RMBRing` (or any :class:`RingFabric`, e.g.
+            :class:`TwoRingRMB`).
         schedule: the pre-generated workload.
         settle_ticks: extra simulated time after the last arrival before
             draining begins (lets queued work phase in naturally).
     """
     network = config_builder()
-    if isinstance(network, TwoRingRMB):
-        replay_on_two_ring(network, schedule)
+    if isinstance(network, RingFabric):
+        replay_on_fabric(network, schedule)
     else:
         replay_on_ring(network, schedule)
     horizon = schedule.horizon() + settle_ticks

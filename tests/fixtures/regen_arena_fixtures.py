@@ -1,8 +1,10 @@
 """Regenerate the golden arena report fixture.
 
-One fixed-seed arena run — N=16, k=4, three topologies (rmb, mesh,
-multibus), transpose + tornado at a single standing-start round — whose
-rendered report is committed byte-for-byte as ``arena_n16_k4.txt``.
+One fixed-seed arena run — N=16, k=4, five topologies (rmb, mesh,
+multibus, plus the hierarchical fabric under both its auto-factored
+``hier`` and explicit ``hier:4x4`` spellings, which must agree),
+transpose + tornado at a single standing-start round — whose rendered
+report is committed byte-for-byte as ``arena_n16_k4.txt``.
 
 ``tests/traffic/test_arena_golden.py`` rebuilds the identical run in
 memory and byte-compares against the committed file, pinning the whole
@@ -29,7 +31,7 @@ DATA_FLITS = 16
 SEED = 0
 ROUNDS = 1
 PATTERNS = ("transpose", "tornado")
-NETWORKS = ("rmb", "mesh", "multibus")
+NETWORKS = ("rmb", "mesh", "multibus", "hier", "hier:4x4")
 
 
 def build_report_text() -> str:

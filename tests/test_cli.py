@@ -255,3 +255,72 @@ class TestSaturate:
         code = main(self.SAT + ["--fault-plan", "nonsense"])
         assert code == 1
         assert "bad --fault-plan" in capsys.readouterr().out
+
+
+class TestHierTopologyCLI:
+    def test_run_hier_prints_journey_and_per_ring_tables(self, capsys):
+        code = main(["run", "--topology", "hier:4x4", "-n", "16", "-k", "4",
+                     "-m", "12", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hier RMB 4x4 k=4" in out
+        assert "(journey-level)" in out
+        assert "per-ring legs" in out
+        for ring in ("local0", "local3", "global"):
+            assert ring in out
+
+    def test_run_hier_stats_json_carries_ring_breakdown(self, tmp_path):
+        import json
+        path = tmp_path / "stats.json"
+        code = main(["run", "--topology", "hier:4x4", "-n", "16", "-k", "4",
+                     "-m", "8", "--seed", "5", "--stats-json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["completed"] == payload["offered"] > 0
+        assert set(payload["rings"]) == {
+            "local0", "local1", "local2", "local3", "global"}
+
+    def test_run_hier_refuses_resilience_flags_by_name(self, capsys):
+        code = main(["run", "--topology", "hier:4x4", "-n", "16",
+                     "--recovery", "--watchdog"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "--recovery" in out and "--watchdog" in out
+
+    def test_run_bad_hier_spec_reports_error(self, capsys):
+        code = main(["run", "--topology", "hier:3x5", "-n", "15"])
+        assert code == 1
+        assert "bad --topology" in capsys.readouterr().out
+
+    def test_run_hier_checkpoints_list_member_rings(self, tmp_path, capsys):
+        from repro.supervision import describe_snapshot
+        template = str(tmp_path / "hier-{tick}.snap")
+        code = main(["run", "--topology", "hier:4x4", "-n", "16", "-k", "4",
+                     "-m", "8", "--seed", "5",
+                     "--checkpoint-every", "64",
+                     "--checkpoint-file", template])
+        assert code == 0
+        snaps = sorted(tmp_path.glob("hier-*.snap"))
+        assert snaps
+        manifest = describe_snapshot(str(snaps[0]))
+        assert manifest["rings"] == [
+            "local0", "local1", "local2", "local3", "global"]
+
+    def test_saturate_hier_reports_per_ring_rates(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "curve.json"
+        code = main(["saturate", "--topology", "hier:4x4", "-n", "16",
+                     "-k", "4", "--duration", "40", "--iterations", "1",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology=hier:4x4" in out
+        payload = json.loads(path.read_text())
+        assert payload["topology"] == "hier:4x4"
+        assert any("ring_rates" in point for point in payload["points"])
+
+    def test_saturate_hier_refuses_batch_backend(self, capsys):
+        code = main(["saturate", "--topology", "hier:4x4", "-n", "16",
+                     "--backend", "batch", "--duration", "40"])
+        assert code == 1
+        assert "batch backend does not support" in capsys.readouterr().out

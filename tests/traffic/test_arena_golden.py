@@ -1,8 +1,10 @@
 """Golden-fixture pin of one full arena run, byte-for-byte.
 
 The committed ``tests/fixtures/arena_n16_k4.txt`` is the rendered
-report of a fixed-seed arena (N=16, k=4; rmb, mesh, multibus; transpose
-and tornado, one standing-start round).  Any drift in pattern parsing,
+report of a fixed-seed arena (N=16, k=4; rmb, mesh, multibus, hier and
+hier:4x4; transpose and tornado, one standing-start round).  The two
+hier spellings must produce identical numbers (auto-factoring N=16
+resolves to the 4x4 split).  Any drift in pattern parsing,
 batch realisation, any competitor's simulation, or the table renderer
 fails the byte comparison.  After an intentional change, regenerate
 with ``PYTHONPATH=src python tests/fixtures/regen_arena_fixtures.py``
@@ -32,5 +34,19 @@ def test_fixture_has_the_expected_shape():
     assert text.startswith("arena: N=16 k=4 flits=16 seed=0 rounds=1\n")
     assert text.endswith("\n")
     assert text.count("ordering:") == 2
-    for network in ("rmb", "mesh", "multibus"):
+    for network in ("rmb", "mesh", "multibus", "hier", "hier:4x4"):
         assert network in text
+
+
+def test_hier_spellings_agree_in_fixture():
+    """``hier`` (auto-factored) and ``hier:4x4`` race identically."""
+    from repro.arena import run_arena
+
+    report = run_arena(16, 4, ["transpose"],
+                       networks=("hier", "hier:4x4"), seed=0)
+    auto, explicit = report.sections[0].results
+    assert auto.network == "hier"
+    assert explicit.network == "hier:4x4"
+    assert auto.makespan == explicit.makespan
+    assert auto.delivered == explicit.delivered
+    assert sorted(auto.latencies) == sorted(explicit.latencies)

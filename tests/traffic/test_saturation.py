@@ -141,3 +141,59 @@ class TestComposition:
             SaturationConfig(obs=Observability(level="full"), **FAST),
             pattern, rate=0.04)
         assert bare == observed
+
+
+class TestHierTopology:
+    """Sweeps over the hierarchical fabric (event backend only)."""
+
+    HIER = dict(nodes=16, lanes=4, data_flits=4, duration=60.0,
+                iterations=2, topology="hier:4x4")
+
+    def test_low_rate_point_reports_per_ring_rates(self):
+        cfg = SaturationConfig(**self.HIER)
+        pattern = make_pattern("uniform", 16, k=4, seed=1)
+        point = run_point(cfg, pattern, rate=0.02)
+        assert point.stable and point.reason == "ok"
+        assert point.ring_rates is not None
+        assert set(point.ring_rates) == {
+            "local0", "local1", "local2", "local3", "global"}
+        assert all(rate >= 0.0 for rate in point.ring_rates.values())
+        assert "ring_rates" in point.row()
+
+    def test_curve_carries_the_topology(self):
+        cfg = SaturationConfig(**self.HIER)
+        pattern = make_pattern("uniform", 16, k=4, seed=1)
+        curve = sweep_rates(cfg, pattern, [0.02])
+        assert curve.topology == "hier:4x4"
+        assert curve.summary()["topology"] == "hier:4x4"
+
+    def test_flat_ring_row_and_summary_shapes_are_unchanged(self):
+        cfg = SaturationConfig(**FAST)
+        pattern = make_pattern("uniform", 8, k=3, seed=1)
+        curve = sweep_rates(cfg, pattern, [0.02])
+        assert "topology" not in curve.summary()
+        assert all("ring_rates" not in row for row in curve.rows())
+
+    def test_batch_backend_refuses_hier(self):
+        from repro.batch.engine import BatchUnsupported
+
+        cfg = SaturationConfig(backend="batch", **self.HIER)
+        pattern = make_pattern("uniform", 16, k=4, seed=1)
+        with pytest.raises(BatchUnsupported, match="topology 'hier:4x4'"):
+            run_point(cfg, pattern, rate=0.02)
+
+    def test_hier_refuses_the_resilience_stack(self):
+        from repro.faults import parse_spec
+
+        plan = parse_spec("seg:1,0@10", 16, 4, seed=0)
+        cfg = SaturationConfig(fault_plan=plan, **self.HIER)
+        pattern = make_pattern("uniform", 16, k=4, seed=1)
+        with pytest.raises(ProtocolError, match="fault_plan"):
+            run_point(cfg, pattern, rate=0.02)
+
+    def test_unknown_topology_is_rejected(self):
+        cfg = SaturationConfig(nodes=8, lanes=3, duration=20.0,
+                               topology="torus")
+        pattern = make_pattern("uniform", 8, k=3, seed=1)
+        with pytest.raises(ProtocolError, match="unknown topology"):
+            run_point(cfg, pattern, rate=0.05)
